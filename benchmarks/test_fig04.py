@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 4 - work-conserving vs non-work-conserving.
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run fig4`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig04(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig4",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["fig4"] = table
+    print()
+    print(table.render())
+    check_experiment("fig4", table)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 10a - vcap EMA capacity accuracy.
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run fig10a`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="fig10a")
+def test_fig10(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig10a",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["fig10a"] = table
+    print()
+    print(table.render())
+    check_experiment("fig10a", table)

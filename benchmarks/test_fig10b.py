@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 10b - vtop cache-line latency matrix.
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run fig10b`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="fig10b")
+def test_fig10b(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig10b",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["fig10b"] = table
+    print()
+    print(table.render())
+    check_experiment("fig10b", table)

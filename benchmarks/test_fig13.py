@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 13 - LLC-aware optimizations with vtop.
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run fig13`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig13",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["fig13"] = table
+    print()
+    print(table.render())
+    check_experiment("fig13", table)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 15 - throughput improvement with ivh.
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run fig15`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig15",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["fig15"] = table
+    print()
+    print(table.render())
+    check_experiment("fig15", table)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 16 - adaptability to vCPU changes.
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run fig16`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig16",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["fig16"] = table
+    print()
+    print(table.render())
+    check_experiment("fig16", table)

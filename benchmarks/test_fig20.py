@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 20 - vSched cost (cycles and CPS).
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run fig20`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="fig20")
+def test_fig20(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig20",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["fig20"] = table
+    print()
+    print(table.render())
+    check_experiment("fig20", table)

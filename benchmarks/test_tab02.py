@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 2 - vtop probing time.
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run tab2`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="tab2")
+def test_tab02(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("tab2",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["tab2"] = table
+    print()
+    print(table.render())
+    check_experiment("tab2", table)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 - Masstree latency breakdown.
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run tab3`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="tab3")
+def test_tab03(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("tab3",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["tab3"] = table
+    print()
+    print(table.render())
+    check_experiment("tab3", table)

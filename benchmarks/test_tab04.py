@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 4 - activity-aware vs unaware ivh.
+
+Runs the experiment in fast mode under pytest-benchmark (one round — the
+experiment is itself a full simulation campaign), prints the regenerated
+table, and asserts the paper's qualitative shape.  Use
+``python -m repro.experiments run tab4`` for the full-size version.
+"""
+
+import pytest
+
+from repro.experiments.common import check_experiment, run_experiment
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="tab4")
+def test_tab04(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=("tab4",), kwargs={"fast": True},
+        rounds=1, iterations=1)
+    RESULTS["tab4"] = table
+    print()
+    print(table.render())
+    check_experiment("tab4", table)

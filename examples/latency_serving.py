@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Latency-sensitive serving with biased vCPU selection (bvs).
+
+The motivating scenario of §5.4: a VM whose vCPUs have *asymmetric
+latency* — half of them are rescheduled quickly by the host, half wait
+much longer.  A key-value-store-style workload (masstree-like requests)
+runs with and without bvs; the script prints the p95 tail latency
+breakdown (queue / service / end-to-end) for both.
+
+Run:  python examples/latency_serving.py
+"""
+
+from repro.cluster import (
+    attach_scheduler,
+    build_plain_vm,
+    make_context,
+    run_to_completion,
+)
+from repro.sim import MSEC, SEC
+from repro.workloads import LatencyWorkload
+
+
+def build_asymmetric_latency_vm():
+    """16 vCPUs, symmetric capacity; vCPUs 0-7 have 2x lower latency."""
+    env = build_plain_vm(16, wakeup_gran_ns=None)
+    for i in range(16):
+        slice_ns = 3 * MSEC if i < 8 else 6 * MSEC
+        env.machine.set_slice(i, slice_ns)
+        env.machine.add_host_task(f"tenant-{i}", pinned=(i,))
+    return env
+
+
+def serve(with_bvs: bool) -> LatencyWorkload:
+    env = build_asymmetric_latency_vm()
+    overrides = {"enable_ivh": False, "enable_rwc": False}
+    if not with_bvs:
+        overrides["enable_bvs"] = False
+    vsched = attach_scheduler(env, "vsched", overrides=overrides)
+    ctx = make_context(env, vsched, seed="latency-serving")
+    env.engine.run_until(6 * SEC)  # prober warm-up
+
+    workload = LatencyWorkload("masstree", workers=8, n_requests=400)
+    run_to_completion(env, [workload], ctx, timeout_ns=120 * SEC)
+    return workload
+
+
+def report(label: str, wl: LatencyWorkload) -> None:
+    print(f"\n=== {label} ===")
+    print(f"  p95 queue time:   {wl.p95_ns('queue') / MSEC:6.2f} ms")
+    print(f"  p95 service time: {wl.p95_ns('service') / MSEC:6.2f} ms")
+    print(f"  p95 end-to-end:   {wl.p95_ns('e2e') / MSEC:6.2f} ms")
+    print(f"  mean end-to-end:  {wl.mean_ns('e2e') / MSEC:6.2f} ms")
+
+
+def main() -> None:
+    print("Serving 400 masstree-style requests on a VM with asymmetric "
+          "vCPU latency")
+    base = serve(with_bvs=False)
+    report("vProbers only (CFS placement)", base)
+    biased = serve(with_bvs=True)
+    report("vProbers + bvs", biased)
+    gain = 100.0 * (1 - biased.p95_ns() / base.p95_ns())
+    print(f"\nbvs reduced p95 tail latency by {gain:.0f}% by steering small "
+          f"tasks to\nlow-latency vCPUs (paper §5.4 reports 42% on average).")
+
+
+if __name__ == "__main__":
+    main()

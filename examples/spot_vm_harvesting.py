@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""A resource-constrained spot VM: stragglers, stacking, and rwc.
+
+Builds the paper's rcvm (12 vCPUs: SMT pairs, a stacked pair, two
+stragglers, four capacity/latency classes) and runs a synchronization-
+intensive job under stock CFS, enhanced CFS (probers + relaxed work
+conservation), and full vSched.  Prints what rwc decided to hide and the
+resulting throughput.
+
+Run:  python examples/spot_vm_harvesting.py
+"""
+
+from repro.cluster import attach_scheduler, build_rcvm, make_context, run_to_completion
+from repro.sim import SEC
+from repro.workloads import build_parsec
+
+
+def run_mode(mode: str) -> None:
+    env = build_rcvm()
+    vsched = attach_scheduler(env, mode)
+    ctx = make_context(env, vsched, seed=f"spot-{mode}")
+    env.engine.run_until(9 * SEC)  # probers converge; rwc applies its bans
+
+    job = build_parsec("ocean_cp", threads=12, scale=0.1)
+    run_to_completion(env, [job], ctx, timeout_ns=600 * SEC)
+
+    print(f"\n=== {mode} ===")
+    print(f"  ocean_cp finished in {job.elapsed_ns() / SEC:.2f} s")
+    if vsched.module is not None:
+        caps = [f"{vsched.module.store[i].capacity:.0f}" for i in range(12)]
+        print(f"  probed capacities: {' '.join(caps)}")
+    if vsched.rwc is not None:
+        hidden = sorted(vsched.rwc.hidden_cpus())
+        print(f"  rwc hid vCPUs {hidden} "
+              f"(stacked: {sorted(vsched.rwc.banned_stacked)}, "
+              f"stragglers: {sorted(vsched.rwc.stragglers)})")
+
+
+def main() -> None:
+    print("rcvm: 12 vCPUs = 4 capacity/latency classes + 2 stragglers + "
+          "1 stacked pair")
+    for mode in ("cfs", "enhanced", "vsched"):
+        run_mode(mode)
+    print("\nHiding the stragglers and one stacked vCPU keeps the barrier "
+          "phases free\nof stragglers (paper §5.6: +59-69% throughput on "
+          "rcvm overall).")
+
+
+if __name__ == "__main__":
+    main()

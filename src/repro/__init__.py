@@ -1,0 +1,19 @@
+"""vSched reproduction: accurate vCPU abstraction for cloud-VM scheduling.
+
+Reproduces "Optimizing Task Scheduling in Cloud VMs with Accurate vCPU
+Abstraction" (EuroSys '25) as a deterministic discrete-event simulation:
+host hardware + KVM-like hypervisor + CFS-like guest kernel as substrates,
+with the paper's vProbers (vcap/vact/vtop) and optimization techniques
+(bvs/ivh/rwc) implemented inside the simulated guest using only
+guest-visible interfaces.
+
+Entry points:
+
+* :mod:`repro.cluster` — build the paper's VM types and scenarios;
+* :mod:`repro.core` — the vSched system itself;
+* :mod:`repro.experiments` — regenerate every table/figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,43 @@
+"""VM-type builders (rcvm / hpvm) and experiment scenario helpers."""
+
+from repro.cluster.scenarios import (
+    MODES,
+    attach_scheduler,
+    make_context,
+    overcommit_with_stress,
+    run_to_completion,
+    warmup,
+)
+from repro.cluster.vmtypes import (
+    DEDICATED,
+    HCHL,
+    HCLL,
+    LCHL,
+    LCLL,
+    STRAGGLER,
+    VCpuClass,
+    VmEnvironment,
+    build_hpvm,
+    build_plain_vm,
+    build_rcvm,
+)
+
+__all__ = [
+    "VmEnvironment",
+    "VCpuClass",
+    "build_rcvm",
+    "build_hpvm",
+    "build_plain_vm",
+    "HCLL",
+    "HCHL",
+    "LCLL",
+    "LCHL",
+    "STRAGGLER",
+    "DEDICATED",
+    "MODES",
+    "attach_scheduler",
+    "make_context",
+    "overcommit_with_stress",
+    "run_to_completion",
+    "warmup",
+]

@@ -1,0 +1,23 @@
+"""vSched core: the paper's primary contribution."""
+
+from repro.core.abstraction import AbstractionStore, TopologyView, VCpuAbstraction
+from repro.core.bvs import BiasedVCpuSelection
+from repro.core.ema import Ema, alpha_for_halflife
+from repro.core.ivh import IntraVmHarvesting
+from repro.core.module import VSchedModule
+from repro.core.rwc import RelaxedWorkConservation
+from repro.core.vsched import VSched, VSchedConfig
+
+__all__ = [
+    "VSched",
+    "VSchedConfig",
+    "VSchedModule",
+    "AbstractionStore",
+    "VCpuAbstraction",
+    "TopologyView",
+    "BiasedVCpuSelection",
+    "IntraVmHarvesting",
+    "RelaxedWorkConservation",
+    "Ema",
+    "alpha_for_halflife",
+]

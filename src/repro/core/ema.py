@@ -1,0 +1,40 @@
+"""Exponential moving average with half-life semantics.
+
+vcap smooths probed capacity with an EMA whose history decays 50% per two
+sampling periods (Table 1), giving a trend that follows real changes while
+suppressing spikes that would otherwise cause migration churn (§3.1,
+Figure 10a).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def alpha_for_halflife(periods: float) -> float:
+    """Per-update weight so that history halves after ``periods`` updates."""
+    if periods <= 0:
+        raise ValueError("half-life must be positive")
+    return 1.0 - 0.5 ** (1.0 / periods)
+
+
+class Ema:
+    """Scalar EMA; ``update`` returns the smoothed value."""
+
+    __slots__ = ("alpha", "value")
+
+    def __init__(self, alpha: float, initial: Optional[float] = None):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha {alpha} out of (0, 1]")
+        self.alpha = alpha
+        self.value: Optional[float] = initial
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value += self.alpha * (sample - self.value)
+        return self.value
+
+    def get(self, default: float = 0.0) -> float:
+        return self.value if self.value is not None else default

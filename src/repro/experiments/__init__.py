@@ -1,0 +1,12 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.common import (
+    EXPERIMENTS,
+    Table,
+    check_experiment,
+    load_experiment,
+    run_experiment,
+)
+
+__all__ = ["Table", "EXPERIMENTS", "run_experiment", "check_experiment",
+           "load_experiment"]

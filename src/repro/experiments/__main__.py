@@ -1,0 +1,7 @@
+"""`python -m repro.experiments` -> the vsched-repro CLI."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    vsched-repro list
+    vsched-repro run fig2 [--fast]
+    vsched-repro run all [--fast] [--out results.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import (
+    EXPERIMENTS,
+    check_experiment,
+    run_experiment,
+)
+
+#: Order in which `run all` executes (paper order).
+ALL_ORDER = ["fig2", "fig3", "fig4", "fig10a", "fig10b", "tab2", "fig11",
+             "fig12", "fig13", "fig14", "tab3", "fig15", "tab4", "fig16",
+             "fig17", "fig18", "fig19", "fig20", "fig21"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vsched-repro",
+        description="Regenerate the vSched paper's tables and figures on "
+                    "the simulated substrate.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", help="experiment id (e.g. fig2) or 'all'")
+    runp.add_argument("--fast", action="store_true",
+                      help="shrunken workloads (seconds instead of minutes)")
+    runp.add_argument("--no-check", action="store_true",
+                      help="skip the qualitative shape assertions")
+    runp.add_argument("--out", default=None,
+                      help="also append rendered tables to this file")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in ALL_ORDER:
+            print(f"{exp_id:8s} -> {EXPERIMENTS[exp_id]}")
+        return 0
+
+    ids = ALL_ORDER if args.experiment == "all" else [args.experiment]
+    failures = []
+    out_fh = open(args.out, "a") if args.out else None
+    try:
+        for exp_id in ids:
+            started = time.time()
+            print(f"--- running {exp_id} "
+                  f"({'fast' if args.fast else 'full'}) ---", flush=True)
+            table = run_experiment(exp_id, fast=args.fast)
+            rendered = table.render()
+            print(rendered, flush=True)
+            if out_fh:
+                out_fh.write(rendered + "\n\n")
+                out_fh.flush()
+            if not args.no_check:
+                try:
+                    check_experiment(exp_id, table)
+                    print(f"[shape check OK, {time.time() - started:.0f}s]\n")
+                except AssertionError as exc:
+                    failures.append(exp_id)
+                    print(f"[SHAPE CHECK FAILED: {exc}]\n")
+    finally:
+        if out_fh:
+            out_fh.close()
+    if failures:
+        print(f"shape-check failures: {failures}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

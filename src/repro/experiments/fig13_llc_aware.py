@@ -1,0 +1,108 @@
+"""Figure 13 — effective LLC-aware optimizations with vtop.
+
+32 vCPUs pinned to two sets of 16 cores across two sockets (§5.3).  Two
+instances each of Hackbench, Dedup, and Nginx run concurrently.  With
+vtop's socket topology installed, fork balancing and wake affinity keep
+each instance's communicating threads within one LLC domain: cache-line
+traffic stays on-socket (higher IPC), idle wake-ups hit the polling fast
+path (up to 99% fewer IPIs), and throughput rises (26% on average in the
+paper).  Metrics are normalized to the vtop-enabled run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
+from repro.experiments.common import Table
+from repro.metrics import CycleMeter
+from repro.sim.engine import MSEC, SEC
+from repro.workloads import Hackbench
+from repro.workloads.parsec import PipelineWorkload
+
+VTOP_ONLY = {"enable_vcap": False, "enable_vact": False, "enable_rwc": False,
+             "enable_bvs": False, "enable_ivh": False}
+
+def _make_instances(bench: str, fast: bool):
+    scale = 0.2 if fast else 0.6
+    if bench == "hackbench":
+        return [Hackbench(f"hackbench{i}", groups=2, pairs_per_group=4,
+                          messages=max(100, int(1200 * scale)),
+                          msg_work_ns=10_000, lines=48)
+                for i in range(2)]
+    if bench == "dedup":
+        return [PipelineWorkload(
+            f"dedup{i}",
+            items=max(200, int(2500 * scale)),
+            stages=[("in", 1, 60_000), ("work", 6, 350_000),
+                    ("out", 1, 60_000)],
+            queue_capacity=16, lines=512)
+            for i in range(2)]
+    if bench == "nginx":
+        # Accept thread handing connections (shared state, ~2 KB) to
+        # worker threads — the handoff is what LLC locality accelerates.
+        return [PipelineWorkload(
+            f"nginx{i}",
+            items=max(300, int(3000 * scale)),
+            stages=[("accept", 1, 30_000), ("worker", 7, 300_000)],
+            queue_capacity=32, lines=32)
+            for i in range(2)]
+    raise KeyError(bench)
+
+
+def _run(bench: str, vtop: bool, fast: bool) -> Dict[str, float]:
+    env = build_plain_vm(32, sockets=2, smt=1)
+    if vtop:
+        vs = attach_scheduler(env, "vsched", overrides=VTOP_ONLY)
+    else:
+        vs = attach_scheduler(env, "cfs")
+    ctx = make_context(env, vs, seed=f"fig13-{bench}-{vtop}")
+    env.engine.run_until(env.engine.now + 5 * SEC)
+    meter = CycleMeter(env)
+    meter.start()
+    ipis0 = env.kernel.stats.ipis
+    instances = _make_instances(bench, fast)
+    run_to_completion(env, instances, ctx, timeout_ns=300 * SEC)
+    sample = meter.sample()
+    elapsed = max(w.elapsed_ns() for w in instances)
+    ipis = env.kernel.stats.ipis - ipis0
+    return {
+        "throughput": 2e12 / elapsed,
+        "ipc": sample.ipc_proxy,
+        "ipis": float(ipis),
+    }
+
+
+def run(fast: bool = False) -> Table:
+    table = Table(
+        exp_id="fig13",
+        title="LLC-aware optimizations with vtop "
+              "(normalized to vtop enabled, like the paper's Figure 13)",
+        columns=["benchmark", "metric", "CFS_pct", "CFS+vtop_pct"],
+        paper_expectation="vtop: ~26% higher throughput, +14.5% IPC, "
+                          "up to 99% fewer IPIs",
+    )
+    for bench in ("dedup", "nginx", "hackbench"):
+        base = _run(bench, False, fast)
+        w = _run(bench, True, fast)
+        table.add(bench, "throughput", 100.0 * base["throughput"] / w["throughput"], 100.0)
+        table.add(bench, "ipc", 100.0 * base["ipc"] / w["ipc"], 100.0)
+        table.add(bench, "ipi", 100.0 * base["ipis"] / max(1.0, w["ipis"]), 100.0)
+    return table
+
+
+def check(table: Table) -> None:
+    tp = {r[0]: r[2] for r in table.rows if r[1] == "throughput"}
+    ipc = {r[0]: r[2] for r in table.rows if r[1] == "ipc"}
+    ipi = {r[0]: r[2] for r in table.rows if r[1] == "ipi"}
+    # Throughput: vtop wins on the communication-heavy benchmarks.
+    assert tp["hackbench"] < 97.0, tp
+    assert tp["dedup"] < 95.0, tp
+    assert tp["nginx"] < 103.0, tp
+    assert sum(tp.values()) / 3 < 95.0, tp
+    # IPC: CFS pays communication stalls.
+    assert sum(ipc.values()) / 3 < 100.0, ipc
+    # IPIs: CFS sends far more (cross-socket wake-ups miss the polling
+    # fast path).
+    assert min(ipi.values()) > 105.0, ipi
+    assert max(ipi.values()) > 1000.0, ipi  # "up to 99% reduction"

@@ -1,0 +1,114 @@
+"""Shared runner for the overall-evaluation figures (18 and 19).
+
+Each workload runs under three configurations (§5.6):
+
+* **CFS** — stock guest scheduler;
+* **enhanced CFS** — vProbers + rwc (accurate abstraction feeds existing
+  heuristics; problematic vCPUs hidden);
+* **vSched** — everything, adding bvs and ivh.
+
+Throughput workloads report completion time; latency workloads report p95
+tail latency.  Both are converted to a *performance* percentage relative
+to CFS (higher is better), matching the paper's normalized plots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.cluster import attach_scheduler, make_context, run_to_completion
+from repro.experiments.common import Table
+from repro.sim.engine import SEC
+from repro.workloads import (
+    OVERALL_LATENCY,
+    OVERALL_THROUGHPUT,
+    build_workload,
+)
+
+MODES = ("cfs", "enhanced", "vsched")
+
+FAST_THROUGHPUT = ["canneal", "dedup", "streamcluster", "blackscholes",
+                   "ocean_cp", "pbzip2"]
+FAST_LATENCY = ["img-dnn", "masstree", "silo", "specjbb"]
+
+
+def _measure(builder: Callable, name: str, mode: str, kind: str,
+             threads: int, scale: float, n_requests: int,
+             warmup_ns: int, seed: str) -> float:
+    env = builder()
+    vs = attach_scheduler(env, mode)
+    ctx = make_context(env, vs, seed)
+    env.engine.run_until(env.engine.now + warmup_ns)
+    wl = build_workload(name, threads=threads, scale=scale,
+                        n_requests=n_requests)
+    run_to_completion(env, [wl], ctx, timeout_ns=900 * SEC)
+    if kind == "latency":
+        return wl.p95_ns()
+    return float(wl.elapsed_ns())
+
+
+def run_overall(exp_id: str, title: str, builder: Callable, threads: int,
+                fast: bool) -> Table:
+    throughput_names = FAST_THROUGHPUT if fast else OVERALL_THROUGHPUT
+    latency_names = FAST_LATENCY if fast else OVERALL_LATENCY
+    scale = 0.12 if fast else 0.3
+    n_requests = 150 if fast else 400
+    warmup = (6 if fast else 9) * SEC
+    table = Table(
+        exp_id=exp_id,
+        title=title,
+        columns=["benchmark", "kind", "CFS_pct", "enhanced_pct",
+                 "vsched_pct"],
+        paper_expectation="enhanced CFS and vSched outperform CFS; vSched "
+                          "adds bvs/ivh gains on top (Figures 18/19)",
+    )
+    for kind, names in (("throughput", throughput_names),
+                        ("latency", latency_names)):
+        for name in names:
+            vals: Dict[str, float] = {}
+            for mode in MODES:
+                vals[mode] = _measure(
+                    builder, name, mode, kind, threads, scale, n_requests,
+                    warmup, seed=f"{exp_id}-{name}-{mode}")
+            base = vals["cfs"]
+            # Performance = inverse time (elapsed or tail latency),
+            # normalized to CFS; higher is better for both kinds.
+            table.add(name, kind, 100.0,
+                      100.0 * base / vals["enhanced"],
+                      100.0 * base / vals["vsched"])
+    return table
+
+
+def geometric_means(table: Table) -> Dict[str, Dict[str, float]]:
+    """Per-kind geometric means of the three configurations."""
+    import math
+
+    out: Dict[str, Dict[str, float]] = {}
+    for kind in ("throughput", "latency"):
+        rows = [r for r in table.rows if r[1] == kind]
+        out[kind] = {}
+        for label, idx in (("cfs", 2), ("enhanced", 3), ("vsched", 4)):
+            logs = [math.log(max(1e-9, r[idx])) for r in rows]
+            out[kind][label] = math.exp(sum(logs) / len(logs))
+    return out
+
+
+def check_overall(table: Table, min_enhanced: float, min_vsched: float,
+                  latency_min_vsched: float) -> None:
+    means = geometric_means(table)
+    thr = means["throughput"]
+    lat = means["latency"]
+    assert thr["enhanced"] > min_enhanced, thr
+    assert thr["vsched"] > thr["enhanced"] - 6.0, thr
+    assert thr["vsched"] > min_vsched, thr
+    # Enhanced CFS is at worst neutral on the latency side here (the
+    # paper's 1.4-1.5x for enhanced comes from capacity/topology-aware
+    # placement effects that are weaker on this substrate); vSched's
+    # activity-aware techniques carry the latency gains.
+    assert lat["enhanced"] > 80.0, lat
+    assert lat["vsched"] > latency_min_vsched, lat
+    assert lat["vsched"] > lat["enhanced"], lat
+    # No catastrophic individual regression (paper's worst cases are a few
+    # percent for spin-synchronized workloads).
+    for row in table.rows:
+        assert row[4] > 70.0, row

@@ -1,0 +1,57 @@
+"""Table 4 — canneal execution time: activity-aware vs activity-unaware ivh.
+
+Same environment as Figure 15.  The activity-unaware strawman migrates the
+running task without pre-waking the target, so the task often lands on an
+inactive vCPU and pays the migration delay; the paper shows the
+activity-aware protocol consistently faster across thread counts.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
+from repro.experiments.common import Table
+from repro.experiments.fig15_ivh import _build_env, _make
+from repro.sim.engine import SEC
+
+FULL_THREADS = (1, 2, 4, 8, 16)
+FAST_THREADS = (1, 4, 16)
+
+
+def _elapsed(threads: int, activity_aware: bool, scale: float) -> int:
+    env = _build_env()
+    vs = attach_scheduler(env, "vsched", overrides={
+        "enable_bvs": False, "enable_rwc": False,
+        "ivh_activity_aware": activity_aware})
+    ctx = make_context(env, vs,
+                       seed=f"tab4-{threads}-{activity_aware}")
+    env.engine.run_until(env.engine.now + 6 * SEC)
+    wl = _make("canneal", threads, scale)
+    run_to_completion(env, [wl], ctx, timeout_ns=600 * SEC)
+    return wl.elapsed_ns()
+
+
+def run(fast: bool = False) -> Table:
+    threads_list = FAST_THREADS if fast else FULL_THREADS
+    scale = 0.2 if fast else 0.4
+    table = Table(
+        exp_id="tab4",
+        title="Canneal execution time (s): ivh activity-aware vs unaware",
+        columns=["config"] + [f"{t}thr" for t in threads_list],
+        paper_expectation="activity-aware migration is consistently faster "
+                          "(e.g. 408 vs 348 s at 1 thread)",
+    )
+    unaware = [_elapsed(t, False, scale) / 1e9 for t in threads_list]
+    aware = [_elapsed(t, True, scale) / 1e9 for t in threads_list]
+    table.add("ivh (activity-unaware)", *unaware)
+    table.add("ivh (activity-aware)", *aware)
+    return table
+
+
+def check(table: Table) -> None:
+    unaware = table.rows[0][1:]
+    aware = table.rows[1][1:]
+    # Activity awareness wins (or ties) at every thread count and wins
+    # clearly somewhere.
+    for u, a in zip(unaware, aware):
+        assert a <= u * 1.06, (u, a)
+    assert any(a < u * 0.93 for u, a in zip(unaware, aware)), (unaware, aware)

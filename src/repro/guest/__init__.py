@@ -1,0 +1,30 @@
+"""Guest OS layer: tasks, CFS scheduling, domains, balancing, cgroups."""
+
+from repro.guest.cgroup import TaskGroup
+from repro.guest.config import GuestConfig
+from repro.guest.cpu import GuestCpu
+from repro.guest.domains import DomainLevel, SchedDomains
+from repro.guest.kernel import GuestKernel, VCpuHostState
+from repro.guest.pelt import Pelt, UTIL_SCALE
+from repro.guest.runqueue import CfsRunqueue
+from repro.guest.sync import Barrier, Channel, Mutex
+from repro.guest.task import Policy, Task, TaskState
+
+__all__ = [
+    "GuestKernel",
+    "GuestConfig",
+    "GuestCpu",
+    "CfsRunqueue",
+    "SchedDomains",
+    "DomainLevel",
+    "TaskGroup",
+    "Task",
+    "TaskState",
+    "Policy",
+    "Pelt",
+    "UTIL_SCALE",
+    "Channel",
+    "Mutex",
+    "Barrier",
+    "VCpuHostState",
+]

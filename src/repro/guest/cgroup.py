@@ -1,0 +1,37 @@
+"""Minimal cgroup cpuset support.
+
+rwc hides problematic vCPUs by shrinking the cpuset of the workload task
+group (§3.4): banned vCPUs disappear from placement and balancing for the
+group's tasks, and tasks currently on a banned vCPU are evicted.  Prober
+tasks live in separate groups so the exemptions the paper describes (vcap
+may keep probing stragglers, vtop probes everything) fall out naturally.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+
+class TaskGroup:
+    """A named group of tasks sharing a CPU mask."""
+
+    def __init__(self, name: str, allowed: Optional[FrozenSet[int]] = None):
+        self.name = name
+        self.allowed: Optional[FrozenSet[int]] = allowed
+        self.tasks: List = []
+
+    def add(self, task) -> None:
+        self.tasks.append(task)
+        task.group = self
+
+    def remove(self, task) -> None:
+        if task in self.tasks:
+            self.tasks.remove(task)
+
+    def set_allowed(self, allowed: Optional[FrozenSet[int]]) -> None:
+        """Change the mask. The kernel evicts misplaced tasks afterwards."""
+        self.allowed = frozenset(allowed) if allowed is not None else None
+
+    def __repr__(self) -> str:
+        mask = "all" if self.allowed is None else sorted(self.allowed)
+        return f"<TaskGroup {self.name} allowed={mask} tasks={len(self.tasks)}>"

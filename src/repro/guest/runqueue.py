@@ -1,0 +1,119 @@
+"""Guest CFS runqueue: one per vCPU.
+
+Holds runnable tasks in two bands — normal CFS tasks and SCHED_IDLE
+best-effort tasks.  Normal tasks always take precedence; an enqueued normal
+task immediately preempts a running idle-policy task (as in Linux).  Within
+a band the minimum-vruntime task runs next.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.guest.task import GUEST_NICE0_WEIGHT, Task, TaskState
+
+
+class CfsRunqueue:
+    """Runnable-task queue for one guest CPU."""
+
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self.normal: List[Task] = []
+        self.idle_band: List[Task] = []
+        self.min_vruntime = 0
+
+    # ------------------------------------------------------------------
+    # Introspection used by placement and balancing
+    # ------------------------------------------------------------------
+    def nr_running(self) -> int:
+        """Queued tasks, not counting the one currently on the CPU."""
+        return len(self.normal) + len(self.idle_band)
+
+    def nr_normal_total(self) -> int:
+        """Normal-band tasks queued or running on this CPU."""
+        n = len(self.normal)
+        cur = self.cpu.current
+        if cur is not None and not cur.is_idle_policy:
+            n += 1
+        return n
+
+    def nr_total(self) -> int:
+        return self.nr_running() + (1 if self.cpu.current is not None else 0)
+
+    def load(self) -> int:
+        """CFS load: summed weights of normal tasks here (incl. current)."""
+        total = sum(t.weight for t in self.normal)
+        cur = self.cpu.current
+        if cur is not None and not cur.is_idle_policy:
+            total += cur.weight
+        return total
+
+    def is_idle(self) -> bool:
+        """No task queued or running at all."""
+        return self.cpu.current is None and not self.normal and not self.idle_band
+
+    def sched_idle_only(self) -> bool:
+        """Only best-effort work present (Linux treats this as 'idle' for
+        wake placement — a normal task placed here preempts instantly)."""
+        cur = self.cpu.current
+        if cur is not None and not cur.is_idle_policy:
+            return False
+        if self.normal:
+            return False
+        return (cur is not None) or bool(self.idle_band)
+
+    def has_queued_normal(self) -> bool:
+        return bool(self.normal)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def enqueue(self, task: Task) -> None:
+        # Sleeper credit: cap how far behind min_vruntime a waker can be so
+        # long sleepers don't monopolize the CPU when they return.
+        floor = self.min_vruntime - self.cpu.kernel.config.sched_latency_ns
+        if task.vruntime < floor:
+            task.vruntime = floor
+        band = self.idle_band if task.is_idle_policy else self.normal
+        band.append(task)
+        task.state = TaskState.RUNNABLE
+        task.cpu = self.cpu
+
+    def dequeue(self, task: Task) -> None:
+        band = self.idle_band if task.is_idle_policy else self.normal
+        band.remove(task)
+
+    def pick_next(self) -> Optional[Task]:
+        band = self.normal or self.idle_band
+        if not band:
+            return None
+        best = min(band, key=lambda t: (t.vruntime, t.tid))
+        band.remove(best)
+        if best.vruntime > self.min_vruntime:
+            self.min_vruntime = best.vruntime
+        return best
+
+    def steal_candidates(self, for_cpu_index: int) -> List[Task]:
+        """Queued tasks a balancer could migrate to ``for_cpu_index``."""
+        return [t for t in self.normal if t.may_run_on(for_cpu_index)]
+
+    def charge_vruntime(self, task: Task, wall_delta: int) -> None:
+        task.vruntime += wall_delta * GUEST_NICE0_WEIGHT // task.weight
+        self.update_min_vruntime()
+
+    def update_min_vruntime(self) -> None:
+        """CFS rule: min_vruntime tracks min(curr, leftmost), monotonic.
+
+        Without this a long-running task leaves min_vruntime stale and a
+        waking task gets an unbounded vruntime credit.
+        """
+        floor = None
+        cur = self.cpu.current
+        if cur is not None:
+            floor = cur.vruntime
+        band = self.normal or self.idle_band
+        if band:
+            w = min(t.vruntime for t in band)
+            floor = w if floor is None else min(floor, w)
+        if floor is not None and floor > self.min_vruntime:
+            self.min_vruntime = floor

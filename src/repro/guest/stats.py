@@ -1,0 +1,44 @@
+"""Guest kernel counters (schedstats analogue)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class KernelStats:
+    """Monotonic counters; experiments snapshot and diff them."""
+
+    FIELDS = (
+        "wakeups",
+        "wake_migrations",
+        "lb_migrations",
+        "active_balance_migrations",
+        "ivh_migrations",
+        "ivh_aborted",
+        "ipis",
+        "ipis_cross_socket",
+        "ticks",
+        "timer_wakes",
+        "task_exits",
+        "stall_ns",
+        "spin_wait_ns",
+    )
+
+    def __init__(self) -> None:
+        for f in self.FIELDS:
+            setattr(self, f, 0)
+
+    @property
+    def migrations(self) -> int:
+        """All task migrations regardless of mechanism."""
+        return (self.wake_migrations + self.lb_migrations
+                + self.active_balance_migrations + self.ivh_migrations)
+
+    def snapshot(self) -> Dict[str, int]:
+        snap = {f: getattr(self, f) for f in self.FIELDS}
+        snap["migrations"] = self.migrations
+        return snap
+
+    @staticmethod
+    def delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+        return {k: after[k] - before.get(k, 0) for k in after}

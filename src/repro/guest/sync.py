@@ -1,0 +1,96 @@
+"""Guest synchronization objects: channels, mutexes, barriers.
+
+Two families exist, mirroring the two synchronization styles whose
+interaction with vCPU scheduling the paper discusses:
+
+* **blocking** primitives park the waiter (futex-style) — the vCPU can run
+  something else or halt;
+* **spinning** primitives burn vCPU time while waiting — this is what makes
+  user-level spin synchronization (streamcluster, volrend) suffer LHP-like
+  problems when a holder's vCPU is preempted (§5.6).
+
+The kernel-facing protocol is small: a sync object exposes ``try_*``
+methods the kernel's action interpreter calls, plus waiter queues the
+kernel parks tasks on.  All wakeups go back through the kernel so that
+placement policy (CFS or bvs) applies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+
+class Channel:
+    """FIFO message queue with optional capacity (pipeline backpressure).
+
+    Each queued item remembers the hardware thread its producer was running
+    on, so consumers can be charged a cache-distance communication stall.
+    """
+
+    def __init__(self, name: str = "chan", capacity: Optional[int] = None,
+                 lines: int = 4):
+        self.name = name
+        self.capacity = capacity
+        #: Cache lines transferred per item (scales the consumer stall).
+        self.lines = lines
+        self.items: Deque[Tuple[Any, Any]] = deque()  # (item, producer_thread)
+        self.recv_waiters: Deque = deque()            # blocked consumers
+        self.send_waiters: Deque = deque()            # (task, item) producers
+        #: Total items ever enqueued (throughput accounting).
+        self.total_sent = 0
+
+    def full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def empty(self) -> bool:
+        return not self.items
+
+
+class Mutex:
+    """A lock; ``spin=True`` makes contending waiters poll instead of park."""
+
+    def __init__(self, name: str = "mutex", spin: bool = False,
+                 spin_check_ns: int = 3000):
+        self.name = name
+        self.spin = spin
+        #: Work burned per failed spin poll.
+        self.spin_check_ns = spin_check_ns
+        self.owner = None
+        self.waiters: Deque = deque()
+        self.contentions = 0
+
+    def locked(self) -> bool:
+        return self.owner is not None
+
+
+class Barrier:
+    """Generation-counted barrier for ``parties`` tasks.
+
+    ``spin=True`` models user-level spin barriers: late waiters burn vCPU
+    time polling the generation counter.
+    """
+
+    def __init__(self, parties: int, name: str = "barrier", spin: bool = False,
+                 spin_check_ns: int = 3000):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.parties = parties
+        self.name = name
+        self.spin = spin
+        self.spin_check_ns = spin_check_ns
+        self.generation = 0
+        self.arrived = 0
+        self.waiters: List = []
+        #: Completed barrier episodes (phase throughput accounting).
+        self.completed = 0
+
+    def arrive(self) -> bool:
+        """Register one arrival; True if this arrival releases the barrier."""
+        self.arrived += 1
+        if self.arrived >= self.parties:
+            self.arrived = 0
+            self.generation += 1
+            self.completed += 1
+            return True
+        return False

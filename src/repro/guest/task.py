@@ -1,0 +1,291 @@
+"""Guest tasks and the action vocabulary of their bodies.
+
+A task body is a Python generator produced by a factory that receives a
+:class:`TaskApi`.  The body yields *actions*; the guest kernel completes
+each action (running work on a vCPU, sleeping on a timer, blocking on a
+synchronization object) and resumes the generator with the action's result.
+
+Example::
+
+    def worker(api):
+        while True:
+            req = yield api.recv(requests)
+            start = api.now()
+            yield api.run(req.service_ns)
+            record_latency(start - req.arrival, api.now() - req.arrival)
+
+Work amounts are in nanoseconds-at-nominal-speed; actual wall duration
+depends on the vCPU's execution rate (capacity) and activity.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Iterable, Optional
+
+from repro.guest.pelt import Pelt
+
+#: CFS weight of a nice-0 guest task.
+GUEST_NICE0_WEIGHT = 1024
+#: Weight of a SCHED_IDLE task (kernel uses 3).
+SCHED_IDLE_WEIGHT = 3
+
+
+class Policy(enum.Enum):
+    """Guest scheduling policy (the two classes the paper exercises)."""
+
+    NORMAL = "normal"
+    IDLE = "idle"  # sched_idle best-effort
+
+
+class TaskState(enum.Enum):
+    NEW = "new"
+    RUNNABLE = "runnable"      # on a runqueue, waiting for the vCPU
+    RUNNING = "running"        # current on some guest CPU
+    SLEEPING = "sleeping"      # timer sleep
+    BLOCKED = "blocked"        # waiting on a sync object / channel
+    EXITED = "exited"
+
+
+# ----------------------------------------------------------------------
+# Actions
+# ----------------------------------------------------------------------
+class Action:
+    __slots__ = ()
+
+
+class Run(Action):
+    """Execute ``work_ns`` nanoseconds-at-nominal-speed of computation."""
+
+    __slots__ = ("work_ns",)
+
+    def __init__(self, work_ns: int):
+        if work_ns < 0:
+            raise ValueError("negative work")
+        self.work_ns = int(work_ns)
+
+
+class Sleep(Action):
+    """Block for ``duration_ns`` of wall time (timer wakeup)."""
+
+    __slots__ = ("duration_ns",)
+
+    def __init__(self, duration_ns: int):
+        if duration_ns < 0:
+            raise ValueError("negative sleep")
+        self.duration_ns = int(duration_ns)
+
+
+class Recv(Action):
+    """Receive one item from a channel (blocks while empty)."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel):
+        self.channel = channel
+
+
+class Send(Action):
+    """Send an item to a channel (blocks while at capacity)."""
+
+    __slots__ = ("channel", "item")
+
+    def __init__(self, channel, item):
+        self.channel = channel
+        self.item = item
+
+
+class Lock(Action):
+    """Acquire a mutex; blocking or spinning depends on the mutex kind."""
+
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex):
+        self.mutex = mutex
+
+
+class Unlock(Action):
+    """Release a mutex (never blocks)."""
+
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex):
+        self.mutex = mutex
+
+
+class BarrierWait(Action):
+    """Wait until all parties arrive at the barrier."""
+
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier):
+        self.barrier = barrier
+
+
+class YieldCpu(Action):
+    """Voluntarily yield the vCPU (sched_yield)."""
+
+    __slots__ = ()
+
+
+class MigrateTo(Action):
+    """Migrate this task to a specific vCPU (sched_setaffinity + yield).
+
+    Used by the Figure 3 motivating experiment where the synthetic thread
+    circularly migrates itself among idle vCPUs.
+    """
+
+    __slots__ = ("cpu_index",)
+
+    def __init__(self, cpu_index: int):
+        self.cpu_index = cpu_index
+
+
+# ----------------------------------------------------------------------
+# Task
+# ----------------------------------------------------------------------
+class Task:
+    """One guest thread."""
+
+    _next_tid = [1]
+
+    def __init__(self, kernel, name: str, factory, policy: Policy = Policy.NORMAL,
+                 weight: Optional[int] = None, group=None,
+                 allowed: Optional[Iterable[int]] = None,
+                 latency_sensitive: bool = False):
+        self.kernel = kernel
+        self.tid = Task._next_tid[0]
+        Task._next_tid[0] += 1
+        self.name = name
+        self.policy = policy
+        if weight is None:
+            weight = SCHED_IDLE_WEIGHT if policy == Policy.IDLE else GUEST_NICE0_WEIGHT
+        self.weight = weight
+        self.group = group
+        self.allowed = frozenset(allowed) if allowed is not None else None
+        #: latency-nice hint (the user-space classification channel the
+        #: paper cites alongside PELT, §3.2).
+        self.latency_sensitive = latency_sensitive
+        self.state = TaskState.NEW
+        self.api = TaskApi(kernel, self)
+        self.body: Generator = factory(self.api)
+
+        # --- scheduler state ------------------------------------------
+        self.cpu = None                  # GuestCpu currently hosting us
+        self.prev_cpu_index = 0          # last CPU we ran on
+        self.vruntime = 0
+        self.pelt = Pelt()
+        self.pending_work = 0            # remainder of the current Run
+        self.extra_work = 0              # pending communication stall
+        self.resume_value: Any = None    # value for the next generator send
+        self.needs_advance = True        # generator must be advanced on dispatch
+        self.spinning_on = None          # spin-sync object being polled
+        self.slice_ran = 0               # wall-active time in the current slice
+        self.last_wake_time = 0
+        self.run_started_at: Optional[int] = None  # on-CPU since (ivh threshold)
+        self.ivh_last_migration = 0
+        self.last_migration_time = -(10 ** 12)  # cache-hot cooldown marker
+        self.spin_poll_ns = 3000         # work burned per failed spin poll
+        self.pending_stall_from = None   # producer thread of an undelivered stall
+        self.pending_stall_lines = 4
+        self.exit_callbacks = []
+
+        # --- statistics -------------------------------------------------
+        self.stats = TaskStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_idle_policy(self) -> bool:
+        return self.policy == Policy.IDLE
+
+    def effective_allowed(self) -> Optional[frozenset]:
+        """Intersection of the task's own and its cgroup's CPU masks."""
+        masks = []
+        if self.allowed is not None:
+            masks.append(self.allowed)
+        if self.group is not None and self.group.allowed is not None:
+            masks.append(self.group.allowed)
+        if not masks:
+            return None
+        result = masks[0]
+        for m in masks[1:]:
+            result = result & m
+        return result
+
+    def may_run_on(self, cpu_index: int) -> bool:
+        eff = self.effective_allowed()
+        return eff is None or cpu_index in eff
+
+    def util(self, now: int) -> float:
+        """Current PELT utilization (peek; no state mutation)."""
+        return self.pelt.peek(now, self.state == TaskState.RUNNING)
+
+    def __repr__(self) -> str:
+        return f"<Task {self.tid} {self.name} {self.state.value}>"
+
+
+class TaskStats:
+    """Per-task counters maintained by the guest kernel."""
+
+    __slots__ = ("wakeups", "migrations", "work_done", "wall_running",
+                 "stall_ns", "wait_ns", "dispatches")
+
+    def __init__(self) -> None:
+        self.wakeups = 0
+        self.migrations = 0
+        self.work_done = 0        # ns-at-nominal of retired computation
+        self.wall_running = 0     # wall time on an active vCPU
+        self.stall_ns = 0         # communication stalls charged
+        self.wait_ns = 0          # runnable time spent waiting for a vCPU
+        self.dispatches = 0
+
+
+class TaskApi:
+    """The interface a task body uses to interact with the guest kernel."""
+
+    __slots__ = ("_kernel", "_task")
+
+    def __init__(self, kernel, task):
+        self._kernel = kernel
+        self._task = task
+
+    # --- actions -------------------------------------------------------
+    def run(self, work_ns: int) -> Run:
+        return Run(work_ns)
+
+    def sleep(self, duration_ns: int) -> Sleep:
+        return Sleep(duration_ns)
+
+    def recv(self, channel) -> Recv:
+        return Recv(channel)
+
+    def send(self, channel, item) -> Send:
+        return Send(channel, item)
+
+    def lock(self, mutex) -> Lock:
+        return Lock(mutex)
+
+    def unlock(self, mutex) -> Unlock:
+        return Unlock(mutex)
+
+    def barrier(self, barrier) -> BarrierWait:
+        return BarrierWait(barrier)
+
+    def yield_cpu(self) -> YieldCpu:
+        return YieldCpu()
+
+    def migrate_to(self, cpu_index: int) -> MigrateTo:
+        return MigrateTo(cpu_index)
+
+    # --- introspection ---------------------------------------------------
+    def now(self) -> int:
+        """Guest sched_clock (wall nanoseconds)."""
+        return self._kernel.now()
+
+    def cpu_index(self) -> int:
+        """Index of the vCPU the task last ran on."""
+        return self._task.prev_cpu_index
+
+    @property
+    def task(self):
+        return self._task

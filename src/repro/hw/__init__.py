@@ -1,0 +1,15 @@
+"""Host hardware model: topology, cache distances, execution speed."""
+
+from repro.hw.cache import CacheModel
+from repro.hw.speed import SpeedConfig
+from repro.hw.topology import Core, Distance, HostTopology, HwThread, Socket
+
+__all__ = [
+    "CacheModel",
+    "SpeedConfig",
+    "HostTopology",
+    "Socket",
+    "Core",
+    "HwThread",
+    "Distance",
+]

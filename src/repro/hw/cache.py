@@ -1,0 +1,70 @@
+"""Cache-line transfer latency model.
+
+vtop discovers topology by timing atomic ping-pong on a shared cache line
+(§3.1 of the paper).  The latencies below reproduce the structure of the
+paper's measured matrix (Figure 10b): single-digit nanoseconds between SMT
+siblings that share an L1/L2, tens of nanoseconds within a socket (transfer
+through the LLC), and ~100 ns across the inter-socket bus.  Stacked vCPUs
+produce effectively no transfers because they never run simultaneously; the
+prober reports infinity for them — that is an emergent behaviour of the
+activity model, not something this module returns.
+
+The same distances feed the communication-stall model used for the
+LLC-aware experiments (Figure 13): a task consuming a message produced on a
+distant vCPU stalls for a number of cycles proportional to the transfer
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.hw.topology import Distance
+
+
+@dataclass
+class CacheModel:
+    """Latency (ns) of moving one cache line between two hardware threads."""
+
+    #: Same hardware thread: the line is already in L1.
+    same_thread_ns: float = 2.0
+    #: SMT siblings share L1/L2.
+    smt_sibling_ns: float = 6.0
+    #: Same socket: transfer via LLC / on-die interconnect.
+    same_socket_ns: float = 48.0
+    #: Different socket: inter-socket bus.
+    cross_socket_ns: float = 112.0
+    #: Multiplicative jitter applied per measurement (std dev, fraction).
+    jitter: float = 0.04
+
+    _table: Dict[Distance, float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._table = {
+            Distance.SAME_THREAD: self.same_thread_ns,
+            Distance.SMT_SIBLING: self.smt_sibling_ns,
+            Distance.SAME_SOCKET: self.same_socket_ns,
+            Distance.CROSS_SOCKET: self.cross_socket_ns,
+        }
+
+    def base_latency(self, distance: Distance) -> float:
+        """Noise-free transfer latency for a distance class."""
+        return self._table[distance]
+
+    def sample_latency(self, distance: Distance, rng: np.random.Generator) -> float:
+        """One measured transfer latency, with measurement jitter."""
+        base = self._table[distance]
+        if self.jitter <= 0:
+            return base
+        return max(0.5, base * (1.0 + rng.normal(0.0, self.jitter)))
+
+    def stall_cycles(self, distance: Distance, lines: int = 1) -> int:
+        """Pipeline stall (in ns-at-nominal-speed) for pulling remote data.
+
+        Used by the communication model: consuming ``lines`` cache lines
+        produced at ``distance`` stalls the consumer this long.
+        """
+        return int(self._table[distance] * lines)

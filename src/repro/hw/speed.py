@@ -1,0 +1,53 @@
+"""Execution-speed model: base frequency, SMT contention, DVFS ramp.
+
+A hardware thread executes work at a dimensionless *speed factor*; guest
+work amounts are expressed in nanoseconds-at-nominal-speed, so a thread at
+factor 1.0 retires 1 ns of work per wall-clock ns.
+
+Two dynamic effects are modelled, both of which the paper identifies as
+sources of vCPU-capacity variation (§2.1):
+
+* **SMT contention** — when both hardware threads of a core are busy, each
+  runs at ``smt_factor`` of nominal (per-core resources are shared).
+* **DVFS** — a core that has been idle runs at ``dvfs_cold_factor`` until it
+  has been continuously busy for ``dvfs_ramp_ns``.  This is what makes
+  "probing keeps vCPUs active and increases core frequency" (§5.9) visible
+  in the overhead experiment.  DVFS is disabled by default because most
+  experiments in the paper control capacity with host knobs instead.
+
+The dynamics (who is busy when) live in the hypervisor machine; this module
+only holds the configuration and the pure speed computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import MSEC, USEC
+
+
+@dataclass
+class SpeedConfig:
+    """Static configuration of the host execution-speed model."""
+
+    #: Nominal per-thread speed factor.
+    base: float = 1.0
+    #: Per-thread factor when the SMT sibling is simultaneously busy.
+    smt_factor: float = 0.62
+    #: Enable the DVFS cold/warm ramp.
+    dvfs_enabled: bool = False
+    #: Speed factor of a cold (recently idle) core.
+    dvfs_cold_factor: float = 0.85
+    #: Continuous busy time needed to reach nominal speed.
+    dvfs_ramp_ns: int = 200 * USEC
+    #: Idle time after which a core drops back to cold.
+    dvfs_cooldown_ns: int = 2 * MSEC
+
+    def factor(self, sibling_busy: bool, warm: bool) -> float:
+        """Speed factor for a running thread given the dynamic state."""
+        f = self.base
+        if sibling_busy:
+            f *= self.smt_factor
+        if self.dvfs_enabled and not warm:
+            f *= self.dvfs_cold_factor
+        return f

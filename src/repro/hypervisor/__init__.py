@@ -1,0 +1,26 @@
+"""Hypervisor substrate: VMs, vCPU threads, host scheduler, bandwidth control."""
+
+from repro.hypervisor.bandwidth import BandwidthController
+from repro.hypervisor.entity import (
+    EntityState,
+    HostEntity,
+    HostTask,
+    NICE0_WEIGHT,
+    weight_for_nice,
+)
+from repro.hypervisor.machine import Machine
+from repro.hypervisor.runqueue import HostRunqueue
+from repro.hypervisor.vcpu import VCpuThread, VM
+
+__all__ = [
+    "Machine",
+    "VM",
+    "VCpuThread",
+    "HostEntity",
+    "HostTask",
+    "HostRunqueue",
+    "BandwidthController",
+    "EntityState",
+    "NICE0_WEIGHT",
+    "weight_for_nice",
+]

@@ -1,0 +1,75 @@
+"""CFS bandwidth control (quota / period) for host entities.
+
+The paper manufactures vCPU capacity and activity patterns with the host's
+CPU bandwidth controller plus granularity tunables (§5.1).  We reproduce the
+mechanism: an entity with a controller may consume at most ``quota_ns`` of
+CPU time per ``period_ns``; once exhausted it is *throttled* (descheduled,
+still accruing steal time if it wants the CPU) until the next period
+refresh.
+
+A lone entity with quota q and period P therefore executes a q-on /
+(P−q)-off square wave — exactly the controlled active/inactive pattern the
+experiments need, with vCPU latency (average inactive period) = P − q and
+capacity fraction = q / P.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Engine
+
+
+class BandwidthController:
+    """Per-entity quota/period accounting with periodic refresh.
+
+    The controller owns a repeating refresh event.  The runqueue charges
+    consumed runtime via :meth:`charge` and asks :meth:`remaining` when
+    dispatching so it can arm an exact throttle timer.
+    """
+
+    def __init__(self, engine: Engine, quota_ns: int, period_ns: int, phase_ns: int = 0):
+        if quota_ns <= 0 or period_ns <= 0 or quota_ns > period_ns:
+            raise ValueError(f"invalid bandwidth quota={quota_ns} period={period_ns}")
+        self.engine = engine
+        self.quota_ns = quota_ns
+        self.period_ns = period_ns
+        self.used_ns = 0
+        self.owner = None  # set by Machine.attach
+        self._refresh_event = None
+        # Phase-shifts the first refresh so co-located VMs don't all
+        # unthrottle in lock-step unless the experiment wants them to.
+        first = engine.now + phase_ns % period_ns
+        self._refresh_event = engine.call_at(first + period_ns, self._refresh)
+
+    # ------------------------------------------------------------------
+    def set_limits(self, quota_ns: int, period_ns: Optional[int] = None) -> None:
+        """Adjust quota (and optionally period) at runtime (Figure 16)."""
+        if quota_ns <= 0:
+            raise ValueError("quota must be positive")
+        self.quota_ns = quota_ns
+        if period_ns is not None:
+            self.period_ns = period_ns
+
+    def remaining(self) -> int:
+        return max(0, self.quota_ns - self.used_ns)
+
+    def exhausted(self) -> bool:
+        return self.used_ns >= self.quota_ns
+
+    def charge(self, delta_ns: int) -> None:
+        self.used_ns += delta_ns
+
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        self.used_ns = 0
+        self._refresh_event = self.engine.call_in(self.period_ns, self._refresh)
+        owner = self.owner
+        if owner is not None and owner.rq is not None:
+            owner.rq.on_bandwidth_refresh(owner)
+
+    def cancel(self) -> None:
+        """Stop the refresh loop (entity teardown)."""
+        if self._refresh_event is not None:
+            self._refresh_event.cancel()
+            self._refresh_event = None

@@ -1,0 +1,5 @@
+"""Measurement utilities: percentiles, normalization, cycle accounting."""
+
+from repro.metrics.measures import CycleMeter, CycleSample, normalize, p50, p95
+
+__all__ = ["p95", "p50", "normalize", "CycleMeter", "CycleSample"]

@@ -1,0 +1,7 @@
+"""vProbers: user-level microbenchmarks exposing accurate vCPU abstraction."""
+
+from repro.probers.vact import VAct
+from repro.probers.vcap import VCap
+from repro.probers.vtop import PairProbe, VTop, classify
+
+__all__ = ["VCap", "VAct", "VTop", "PairProbe", "classify"]

@@ -1,0 +1,59 @@
+"""vact: the activity prober (§3.1).
+
+The kernel half of vact lives in :class:`repro.guest.kernel.GuestKernel`:
+a heartbeat timestamp per scheduler tick, a preemption counter incremented
+on qualified steal-time jumps, and the vCPU-state query function.  This
+user-space half turns the per-window counters (collected during vcap's
+sampling periods, as in the paper) into the new abstraction:
+
+* **vCPU latency** — average inactive period = steal_delta / preemptions;
+* **average active period** — (window − steal_delta) / preemptions.
+
+A window with no qualified preemptions means the vCPU ran undisturbed, so
+its latency estimate converges to zero (a dedicated vCPU).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.core.module import VSchedModule
+from repro.guest.kernel import GuestKernel, VCpuHostState
+
+
+class VAct:
+    """Activity estimation; fed by vcap's sampling windows."""
+
+    def __init__(self, kernel: GuestKernel, module: VSchedModule):
+        self.kernel = kernel
+        self.module = module
+        self.windows_processed = 0
+
+    def on_window(self, samples: Iterable[Tuple[int, int, int, int]]) -> None:
+        """Consume one sampling window.
+
+        ``samples`` holds ``(cpu, steal_delta, preemptions, window_ns)``
+        per probed vCPU.
+        """
+        for cpu, steal_delta, preempts, window in samples:
+            if preempts > 0:
+                latency = steal_delta / preempts
+                active = max(0, window - steal_delta) / preempts
+            else:
+                # No preemption observed: vCPU behaved like a dedicated
+                # core for the whole window.
+                latency = 0.0
+                active = float(window)
+            self.module.publish_activity(cpu, latency, active)
+        self.windows_processed += 1
+
+    # ------------------------------------------------------------------
+    # Convenience passthroughs for the optimizing techniques
+    # ------------------------------------------------------------------
+    def state(self, cpu_index: int):
+        """(state, since) from the kernel's heartbeat query."""
+        return self.kernel.vcpu_state(cpu_index)
+
+    def is_active(self, cpu_index: int) -> bool:
+        state, _ = self.kernel.vcpu_state(cpu_index)
+        return state == VCpuHostState.ACTIVE

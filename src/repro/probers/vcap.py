@@ -1,0 +1,172 @@
+"""vcap: the capacity prober (§3.1).
+
+vcap samples all vCPUs simultaneously in periodic windows.  Two window
+kinds exist:
+
+* **light** (the common case) — one SCHED_IDLE prober task per vCPU keeps
+  the vCPU busy when it would otherwise idle, so the guest-visible steal
+  time over the window measures the share of core time the vCPU receives:
+  ``share = 1 - steal_delta / window``.  Capacity is then
+  ``share × core_capacity`` using the core capacity learned in the last
+  heavy window.  The prober consumes only otherwise-wasted cycles.
+* **heavy** (every N light windows) — prober tasks run at high priority
+  and *self-measure* their execution rate (work retired per CPU-second,
+  the calibrated-busy-loop measurement a real prober makes), which yields
+  the hosting core's capacity even under SMT contention or DVFS.
+
+Samples feed the module's EMA.  vact piggybacks on the same windows to
+convert steal deltas and preemption counts into average inactive/active
+periods (vCPU latency).
+
+Nothing here reads hypervisor state: only guest steal time and the prober
+tasks' own progress measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.module import VSchedModule
+from repro.guest.cgroup import TaskGroup
+from repro.guest.kernel import GuestKernel
+from repro.guest.task import Policy, Task
+from repro.hypervisor.entity import weight_for_nice
+from repro.sim.engine import MSEC, SEC, USEC
+
+
+class VCap:
+    """Periodic cooperative capacity sampling for one VM."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        module: VSchedModule,
+        sampling_period_ns: int = 100 * MSEC,
+        light_interval_ns: int = 1 * SEC,
+        heavy_every: int = 5,
+        prober_chunk_ns: int = 200 * USEC,
+        heavy_weight: int = weight_for_nice(-10),
+        vact=None,
+    ):
+        self.kernel = kernel
+        self.module = module
+        self.sampling_period_ns = sampling_period_ns
+        self.light_interval_ns = light_interval_ns
+        self.heavy_every = heavy_every
+        self.prober_chunk_ns = prober_chunk_ns
+        self.heavy_weight = heavy_weight
+        self.vact = vact
+        #: cgroup for light probers; rwc may shrink it (stacked bans) while
+        #: still letting vcap probe stragglers.
+        self.group: TaskGroup = kernel.new_group("vcap")
+        self._count = 0
+        self._running = False
+        self._window_open = False
+        self.windows_completed = 0
+        #: Wall time vcap's probers have consumed (cost accounting, §5.9).
+        self.prober_cpu_ns = 0
+
+    # ------------------------------------------------------------------
+    def start(self, initial_delay_ns: int = 10 * MSEC) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.kernel.engine.call_in(initial_delay_ns, self._begin_window)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _probed_cpus(self) -> List[int]:
+        allowed = self.group.allowed
+        cpus = range(len(self.kernel.cpus))
+        return [c for c in cpus if allowed is None or c in allowed]
+
+    #: Per-vCPU spawn stagger within a window.  Keeps sampling coordinated
+    #: (windows overlap >90%) while avoiding phase-locking the co-runners
+    #: of every core to the same schedule, which would be a measurement
+    #: artifact of the prober itself.
+    SPAWN_STAGGER_NS = 1_370_000
+
+    def _begin_window(self) -> None:
+        if not self._running:
+            return
+        heavy = (self._count % self.heavy_every) == 0
+        self._count += 1
+        cpus = self._probed_cpus()
+        stop_flag = [False]
+        probers: Dict[int, Task] = {}
+        steal_before: Dict[int, int] = {}
+        preempt_before: Dict[int, int] = {}
+        spawn_time: Dict[int, int] = {}
+
+        def spawn_one(c: int) -> None:
+            if stop_flag[0]:
+                return
+            steal_before[c] = self.kernel.steal_of(c)
+            preempt_before[c] = self.kernel.cpus[c].preempt_count
+            spawn_time[c] = self.kernel.now()
+            policy = Policy.NORMAL if heavy else Policy.IDLE
+            weight = self.heavy_weight if heavy else None
+            probers[c] = self.kernel.spawn(
+                self._prober_body(stop_flag),
+                name=f"vcap{'H' if heavy else 'L'}-{c}",
+                policy=policy, weight=weight, group=self.group,
+                cpu=c, allowed=(c,))
+
+        for i, c in enumerate(cpus):
+            offset = (i % 8) * self.SPAWN_STAGGER_NS
+            self.kernel.engine.call_in(offset, spawn_one, c)
+        self._window_open = True
+        self.kernel.engine.call_in(
+            self.sampling_period_ns, self._end_window,
+            heavy, cpus, stop_flag, probers, steal_before, preempt_before,
+            spawn_time)
+
+    def _prober_body(self, stop_flag: List[bool]):
+        chunk = self.prober_chunk_ns
+
+        def body(api):
+            while not stop_flag[0]:
+                yield api.run(chunk)
+
+        return body
+
+    def _end_window(self, heavy: bool, cpus: List[int], stop_flag: List[bool],
+                    probers: Dict[int, Task], steal_before: Dict[int, int],
+                    preempt_before: Dict[int, int],
+                    spawn_time: Dict[int, int]) -> None:
+        stop_flag[0] = True
+        self._window_open = False
+        now = self.kernel.now()
+        activity_samples = []
+        for c in cpus:
+            if c not in probers:
+                continue  # spawn was still pending when the window closed
+            window = max(1, now - spawn_time[c])
+            steal_delta = self.kernel.steal_of(c) - steal_before[c]
+            share = min(1.0, max(0.0, 1.0 - steal_delta / window))
+            entry = self.module.store[c]
+            if heavy:
+                # Heavy windows exist to measure the hosting core's
+                # capacity via the prober's self-measured execution rate.
+                # The share observed meanwhile is inflated by the prober's
+                # own high priority, so it must not feed the vCPU capacity
+                # estimate — the light windows own that.
+                task = probers[c]
+                wall = task.stats.wall_running
+                if wall > 1000:  # enough signal to trust the rate
+                    rate = task.stats.work_done / wall
+                    entry.core_capacity = 1024.0 * rate
+            else:
+                self.module.publish_capacity(c, share * entry.core_capacity)
+            preempts = self.kernel.cpus[c].preempt_count - preempt_before[c]
+            activity_samples.append((c, steal_delta, preempts, window))
+            self.prober_cpu_ns += probers[c].stats.wall_running
+        if self.vact is not None:
+            self.vact.on_window(activity_samples)
+        self.module.sampling_complete()
+        self.windows_completed += 1
+        if self._running:
+            delay = max(1, self.light_interval_ns - self.sampling_period_ns)
+            self.kernel.engine.call_in(delay, self._begin_window)

@@ -1,0 +1,166 @@
+"""Discrete-event simulation engine.
+
+The whole reproduction runs on a single deterministic event loop.  Time is
+kept in integer nanoseconds so that runs are bit-reproducible across
+platforms; ties between events scheduled for the same instant are broken by
+insertion order (a monotonically increasing sequence number), never by object
+identity.
+
+The engine is deliberately minimal: entities schedule callbacks, callbacks
+may schedule more callbacks.  Higher layers (hypervisor, guest kernel) build
+their state machines on top of this primitive.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+#: One microsecond / millisecond / second expressed in engine time units.
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+def ns_to_ms(t: int) -> float:
+    """Convert engine nanoseconds to floating-point milliseconds."""
+    return t / MSEC
+
+
+def ns_to_sec(t: int) -> float:
+    """Convert engine nanoseconds to floating-point seconds."""
+    return t / SEC
+
+
+class Event:
+    """A cancellable scheduled callback.
+
+    Instances are returned by :meth:`Engine.call_at` / :meth:`Engine.call_in`.
+    Cancellation is lazy: the event stays in the heap but is skipped when it
+    surfaces.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when the event fires."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending and not cancelled."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time} {name} {state}>"
+
+
+class Engine:
+    """The simulation clock and event queue.
+
+    Typical use::
+
+        eng = Engine()
+        eng.call_in(5 * MSEC, my_callback, arg)
+        eng.run_until(1 * SEC)
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, time: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``.
+
+        Scheduling in the past is a programming error and raises
+        ``ValueError`` — silent time travel hides causality bugs.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self.now}"
+            )
+        self._seq += 1
+        ev = Event(time, self._seq, callback, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_in(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.call_at(self.now + delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_until(self, deadline: int) -> None:
+        """Process events up to and including ``deadline``.
+
+        The clock is left at ``deadline`` even if the queue drains earlier,
+        so that subsequent relative scheduling behaves intuitively.
+        """
+        if self._running:
+            raise RuntimeError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                ev = self._heap[0]
+                if ev.time > deadline:
+                    break
+                heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                self.now = ev.time
+                ev.callback(*ev.args)
+            if self.now < deadline:
+                self.now = deadline
+        finally:
+            self._running = False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire); return count."""
+        if self._running:
+            raise RuntimeError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                ev = heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                self.now = ev.time
+                ev.callback(*ev.args)
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    def stop(self) -> None:
+        """Stop the current ``run``/``run_until`` after the active callback."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)

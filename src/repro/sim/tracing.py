@@ -1,0 +1,71 @@
+"""Lightweight execution tracing.
+
+The tracer records ``(time, category, payload)`` tuples.  It backs the
+KernelShark-style timeline used to reproduce Figure 3 (stalled running task)
+and is handy when debugging scheduler interactions.  Tracing is off by
+default — the hot paths call :meth:`Tracer.record` unconditionally, so the
+disabled path must stay cheap (a single attribute check).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set
+
+
+class TraceRecord(NamedTuple):
+    time: int
+    category: str
+    payload: tuple
+
+
+class Tracer:
+    """Append-only trace buffer with per-category filtering."""
+
+    def __init__(self, enabled: bool = False, categories: Optional[Iterable[str]] = None):
+        self.enabled = enabled
+        self.categories: Optional[Set[str]] = set(categories) if categories else None
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: int, category: str, *payload) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, payload))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+
+class IntervalTimeline:
+    """Builds per-lane busy intervals from begin/end trace pairs.
+
+    Used to reconstruct "which vCPU executed the task when" timelines, the
+    simulated equivalent of the paper's KernelShark plots (Figure 3).
+    """
+
+    def __init__(self) -> None:
+        self._open: Dict[str, int] = {}
+        self.intervals: Dict[str, List[tuple]] = {}
+
+    def begin(self, lane: str, time: int) -> None:
+        self._open[lane] = time
+
+    def end(self, lane: str, time: int) -> None:
+        start = self._open.pop(lane, None)
+        if start is None:
+            return
+        self.intervals.setdefault(lane, []).append((start, time))
+
+    def close_all(self, time: int) -> None:
+        for lane in list(self._open):
+            self.end(lane, time)
+
+    def busy_time(self, lane: str) -> int:
+        return sum(e - s for s, e in self.intervals.get(lane, []))
+
+    def total_busy(self) -> int:
+        return sum(self.busy_time(lane) for lane in self.intervals)

@@ -1,0 +1,53 @@
+"""Workload generators for the paper's 34-benchmark evaluation suite."""
+
+from repro.workloads.apps import Fio, Hackbench, Pbzip2
+from repro.workloads.base import BestEffortFiller, RequestRecord, Workload, WorkloadContext
+from repro.workloads.parsec import (
+    BarrierWorkload,
+    DataParallelWorkload,
+    LockWorkload,
+    PARSEC_SPECS,
+    PipelineWorkload,
+    build_parsec,
+)
+from repro.workloads.registry import (
+    OVERALL_LATENCY,
+    OVERALL_THROUGHPUT,
+    PARSEC_NAMES,
+    SPLASH_NAMES,
+    TAILBENCH_NAMES,
+    build_workload,
+)
+from repro.workloads.server import NginxServer
+from repro.workloads.synthetic import CpuBoundJob, Matmul, SelfMigratingJob, SysbenchCpu
+from repro.workloads.tailbench import TAILBENCH, LatencyWorkload, TailbenchSpec
+
+__all__ = [
+    "Workload",
+    "WorkloadContext",
+    "RequestRecord",
+    "BestEffortFiller",
+    "CpuBoundJob",
+    "SysbenchCpu",
+    "SelfMigratingJob",
+    "Matmul",
+    "LatencyWorkload",
+    "TailbenchSpec",
+    "TAILBENCH",
+    "BarrierWorkload",
+    "DataParallelWorkload",
+    "PipelineWorkload",
+    "LockWorkload",
+    "PARSEC_SPECS",
+    "build_parsec",
+    "NginxServer",
+    "Pbzip2",
+    "Fio",
+    "Hackbench",
+    "build_workload",
+    "PARSEC_NAMES",
+    "SPLASH_NAMES",
+    "TAILBENCH_NAMES",
+    "OVERALL_THROUGHPUT",
+    "OVERALL_LATENCY",
+]

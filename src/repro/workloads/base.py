@@ -1,0 +1,165 @@
+"""Workload framework.
+
+A :class:`Workload` spawns guest tasks into a VM and records results.  Two
+result families cover everything the paper measures:
+
+* **throughput** — a job of known total work; the metric is elapsed time
+  (or its inverse).  ``done`` flips when the job completes.
+* **latency** — an open-loop request stream; per-request queue/service/
+  end-to-end times are recorded for percentile reporting.
+
+Workloads receive a :class:`WorkloadContext` naming the kernel, the cgroup
+to spawn into (so rwc's cpusets apply), and the experiment RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.guest.cgroup import TaskGroup
+from repro.guest.kernel import GuestKernel
+from repro.guest.task import Policy, Task
+from repro.sim.engine import MSEC, SEC, USEC
+
+
+@dataclass
+class WorkloadContext:
+    """Everything a workload needs to install itself in a VM."""
+
+    kernel: GuestKernel
+    group: TaskGroup
+    besteffort_group: Optional[TaskGroup]
+    rng: np.random.Generator
+
+    @property
+    def engine(self):
+        return self.kernel.engine
+
+    def now(self) -> int:
+        return self.kernel.now()
+
+
+@dataclass
+class RequestRecord:
+    """One served request of a latency-sensitive workload."""
+
+    arrival: int
+    start: int
+    finish: int
+
+    @property
+    def queue_ns(self) -> int:
+        return self.start - self.arrival
+
+    @property
+    def service_ns(self) -> int:
+        return self.finish - self.start
+
+    @property
+    def e2e_ns(self) -> int:
+        return self.finish - self.arrival
+
+
+class Workload:
+    """Base class; subclasses implement :meth:`start`."""
+
+    #: Family tag used by experiment tables ("throughput" / "latency").
+    kind = "throughput"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ctx: Optional[WorkloadContext] = None
+        self.started_at = 0
+        self.finished_at: Optional[int] = None
+        self.tasks: List[Task] = []
+        self.requests: List[RequestRecord] = []
+        self._on_done: List[Callable] = []
+
+    # ------------------------------------------------------------------
+    def start(self, ctx: WorkloadContext) -> None:
+        raise NotImplementedError
+
+    def on_done(self, callback: Callable) -> None:
+        self._on_done.append(callback)
+
+    def _mark_done(self) -> None:
+        if self.finished_at is None:
+            self.finished_at = self.ctx.now()
+            for cb in self._on_done:
+                cb(self)
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    # ------------------------------------------------------------------
+    # Result accessors
+    # ------------------------------------------------------------------
+    def elapsed_ns(self) -> Optional[int]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def p95_ns(self, component: str = "e2e") -> float:
+        if not self.requests:
+            return float("nan")
+        values = [getattr(r, f"{component}_ns") for r in self.requests]
+        return float(np.percentile(values, 95))
+
+    def mean_ns(self, component: str = "e2e") -> float:
+        if not self.requests:
+            return float("nan")
+        values = [getattr(r, f"{component}_ns") for r in self.requests]
+        return float(np.mean(values))
+
+    # ------------------------------------------------------------------
+    # Spawn helpers
+    # ------------------------------------------------------------------
+    def _spawn(self, factory, name: str, policy: Policy = Policy.NORMAL,
+               initial_util: float = 0.0, group: Optional[TaskGroup] = None,
+               cpu: Optional[int] = None,
+               latency_sensitive: bool = False) -> Task:
+        task = self.ctx.kernel.spawn(
+            factory, name, policy=policy,
+            group=group or self.ctx.group, initial_util=initial_util, cpu=cpu,
+            latency_sensitive=latency_sensitive)
+        self.tasks.append(task)
+        return task
+
+    def _join_counter(self, parties: int):
+        """Returns (decrement_fn); marks the workload done at zero."""
+        remaining = [parties]
+
+        def decrement(_task=None) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._mark_done()
+
+        return decrement
+
+
+class BestEffortFiller(Workload):
+    """Low-priority background work harvesting free vCPU cycles (§2.3).
+
+    One sched_idle spinner per vCPU, used by the "with best-effort tasks"
+    variants of the latency experiments.
+    """
+
+    def __init__(self, name: str = "besteffort"):
+        super().__init__(name)
+
+    def start(self, ctx: WorkloadContext) -> None:
+        self.ctx = ctx
+        self.started_at = ctx.now()
+        group = ctx.besteffort_group or ctx.group
+
+        def body(api):
+            while True:
+                yield api.run(500 * USEC)
+
+        for c in range(len(ctx.kernel.cpus)):
+            self._spawn(body, f"{self.name}-{c}", policy=Policy.IDLE,
+                        group=group, cpu=c)

@@ -1,0 +1,103 @@
+"""Nginx-style server workload: open-loop requests, live throughput.
+
+Used by the adaptability (§5.7) and multi-tenant (§5.8) experiments, which
+plot requests/second over time while host conditions change, and by the
+mixed-workload SMT experiment (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.guest.sync import Channel
+from repro.sim.engine import MSEC, SEC, USEC
+from repro.workloads.base import RequestRecord, Workload, WorkloadContext
+
+
+class NginxServer(Workload):
+    """``workers`` event-loop workers serving small requests.
+
+    Open loop: requests arrive at ``rate_per_sec`` regardless of progress
+    (excess queues up, throughput saturates at capacity — the paper's live
+    throughput curves).  ``throughput_series(window)`` returns requests
+    completed per window.
+    """
+
+    kind = "latency"
+
+    def __init__(self, name: str = "nginx", workers: int = 16,
+                 service_ns: int = 400 * USEC, rate_per_sec: float = 3000.0,
+                 duration_ns: Optional[int] = None, record_requests: bool = False):
+        super().__init__(name)
+        self.workers = workers
+        self.service_ns = service_ns
+        self.rate_per_sec = rate_per_sec
+        self.duration_ns = duration_ns
+        self.record_requests = record_requests
+        self.completions: List[int] = []   # completion timestamps
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self, ctx: WorkloadContext) -> None:
+        self.ctx = ctx
+        self.started_at = ctx.now()
+        self.channel = Channel(f"{self.name}-req", capacity=4096, lines=8)
+        wl = self
+
+        def worker(api):
+            while True:
+                req = yield api.recv(wl.channel)
+                if req is None:
+                    return
+                start = api.now()
+                yield api.run(wl.service_ns)
+                finish = api.now()
+                wl.completions.append(finish)
+                if wl.record_requests:
+                    wl.requests.append(RequestRecord(req, start, finish))
+
+        for i in range(self.workers):
+            self._spawn(worker, f"{self.name}-w{i}", latency_sensitive=True)
+        self._schedule_arrival()
+        if self.duration_ns is not None:
+            ctx.engine.call_in(self.duration_ns, self.stop)
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._mark_done()
+
+    def set_rate(self, rate_per_sec: float) -> None:
+        self.rate_per_sec = rate_per_sec
+
+    def _schedule_arrival(self) -> None:
+        if self._stopped:
+            return
+        gap = max(1, int(self.ctx.rng.exponential(SEC / self.rate_per_sec)))
+        self.ctx.engine.call_in(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        if self._stopped:
+            return
+        # Drop rather than queue unboundedly when saturated (the channel
+        # capacity models the listen backlog).
+        if not self.channel.full():
+            self.ctx.kernel.send_external(self.channel, self.ctx.now())
+        self._schedule_arrival()
+
+    # ------------------------------------------------------------------
+    def throughput_series(self, window_ns: int = 1 * SEC,
+                          t0: Optional[int] = None,
+                          t1: Optional[int] = None) -> List[float]:
+        """Requests/sec per window over [t0, t1)."""
+        t0 = self.started_at if t0 is None else t0
+        t1 = (self.finished_at or self.ctx.now()) if t1 is None else t1
+        n_windows = max(1, (t1 - t0) // window_ns)
+        counts = [0] * n_windows
+        for c in self.completions:
+            idx = (c - t0) // window_ns
+            if 0 <= idx < n_windows:
+                counts[idx] += 1
+        return [cnt / (window_ns / SEC) for cnt in counts]
+
+    def served_between(self, t0: int, t1: int) -> int:
+        return sum(1 for c in self.completions if t0 <= c < t1)

@@ -1,0 +1,143 @@
+"""Synthetic CPU-bound workloads: sysbench-style stressors and matmul.
+
+These are the contention generators and throughput yardsticks of the
+evaluation: Sysbench CPU (events/second of fixed-size work chunks), Matmul
+(large CPU-bound chunks), and a plain fixed-work job used by the motivating
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import MSEC, SEC, USEC
+from repro.workloads.base import Workload, WorkloadContext
+
+
+class CpuBoundJob(Workload):
+    """``threads`` workers each retiring ``work_per_thread_ns`` of compute."""
+
+    def __init__(self, name: str = "cpubound", threads: int = 1,
+                 work_per_thread_ns: int = 1 * SEC, chunk_ns: int = 1 * MSEC):
+        super().__init__(name)
+        self.threads = threads
+        self.work_per_thread_ns = work_per_thread_ns
+        self.chunk_ns = chunk_ns
+
+    def start(self, ctx: WorkloadContext) -> None:
+        self.ctx = ctx
+        self.started_at = ctx.now()
+        join = self._join_counter(self.threads)
+        total = self.work_per_thread_ns
+        chunk = self.chunk_ns
+
+        def body(api):
+            remaining = total
+            while remaining > 0:
+                step = min(chunk, remaining)
+                yield api.run(step)
+                remaining -= step
+
+        for i in range(self.threads):
+            t = self._spawn(body, f"{self.name}-{i}", initial_util=800)
+            self.ctx.kernel.on_exit(t, join)
+
+
+class SysbenchCpu(Workload):
+    """Open-ended CPU stress reporting events/second (sysbench cpu).
+
+    Runs until the experiment ends; throughput is ``events()`` over the
+    measurement window.
+    """
+
+    def __init__(self, name: str = "sysbench", threads: int = 4,
+                 event_work_ns: int = 500 * USEC,
+                 duration_ns: Optional[int] = None):
+        super().__init__(name)
+        self.threads = threads
+        self.event_work_ns = event_work_ns
+        self.duration_ns = duration_ns
+        self.events = 0
+
+    def start(self, ctx: WorkloadContext) -> None:
+        self.ctx = ctx
+        self.started_at = ctx.now()
+        deadline = (None if self.duration_ns is None
+                    else ctx.now() + self.duration_ns)
+        join = self._join_counter(self.threads)
+        work = self.event_work_ns
+        wl = self
+
+        def body(api):
+            while deadline is None or api.now() < deadline:
+                yield api.run(work)
+                wl.events += 1
+
+        for i in range(self.threads):
+            t = self._spawn(body, f"{self.name}-{i}", initial_util=800)
+            self.ctx.kernel.on_exit(t, join)
+
+    def events_per_sec(self, window_ns: int) -> float:
+        return self.events / (window_ns / SEC)
+
+
+class SelfMigratingJob(Workload):
+    """The Figure 3 synthetic thread: CPU-intensive, optionally migrating
+    itself circularly among idle vCPUs every ``migrate_every_ns``."""
+
+    def __init__(self, name: str = "selfmig", work_ns: int = 1 * SEC,
+                 migrate_every_ns: Optional[int] = 4 * MSEC):
+        super().__init__(name)
+        self.work_ns = work_ns
+        self.migrate_every_ns = migrate_every_ns
+
+    def start(self, ctx: WorkloadContext) -> None:
+        self.ctx = ctx
+        self.started_at = ctx.now()
+        n_cpus = len(ctx.kernel.cpus)
+        total = self.work_ns
+        every = self.migrate_every_ns
+        join = self._join_counter(1)
+
+        def body(api):
+            remaining = total
+            target = 0
+            while remaining > 0:
+                step = min(every or MSEC, remaining)
+                yield api.run(step)
+                remaining -= step
+                if every is not None and remaining > 0:
+                    target = (api.cpu_index() + 1) % n_cpus
+                    yield api.migrate_to(target)
+
+        t = self._spawn(body, self.name, initial_util=900)
+        self.ctx.kernel.on_exit(t, join)
+
+
+class Matmul(Workload):
+    """CPU-intensive matrix-multiply stand-in: large uninterrupted chunks."""
+
+    def __init__(self, name: str = "matmul", threads: int = 16,
+                 blocks: int = 64, block_work_ns: int = 20 * MSEC):
+        super().__init__(name)
+        self.threads = threads
+        self.blocks = blocks
+        self.block_work_ns = block_work_ns
+        self.blocks_done = 0
+
+    def start(self, ctx: WorkloadContext) -> None:
+        self.ctx = ctx
+        self.started_at = ctx.now()
+        join = self._join_counter(self.threads)
+        per_thread = max(1, self.blocks // self.threads)
+        work = self.block_work_ns
+        wl = self
+
+        def body(api):
+            for _ in range(per_thread):
+                yield api.run(work)
+                wl.blocks_done += 1
+
+        for i in range(self.threads):
+            t = self._spawn(body, f"{self.name}-{i}", initial_util=900)
+            self.ctx.kernel.on_exit(t, join)

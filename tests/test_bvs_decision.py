@@ -1,0 +1,189 @@
+"""Unit tests of the bvs decision procedure (Figure 8), branch by branch.
+
+The probed abstraction is injected directly so each acceptance branch of
+the heuristic can be exercised deterministically.
+"""
+
+import pytest
+
+from repro.cluster import build_plain_vm
+from repro.core.bvs import BiasedVCpuSelection
+from repro.core.module import VSchedModule
+from repro.guest import Policy
+from repro.sim import MSEC, SEC, USEC
+
+
+def make_env(n=4):
+    env = build_plain_vm(n)
+    module = VSchedModule(env.kernel)
+    bvs = BiasedVCpuSelection(env.kernel, module)
+    env.kernel.select_rq_hook = bvs
+    return env, module, bvs
+
+
+def set_entry(module, cpu, capacity=1024.0, latency_ms=2.0, active_ms=5.0,
+              cv=0.0):
+    e = module.store[cpu]
+    e.ema_capacity.value = capacity
+    e.latency_ns = latency_ms * MSEC
+    e.avg_active_ns = active_ms * MSEC
+    e.latency_cv = cv
+
+
+def small_task(env, **kw):
+    def body(api):
+        while True:
+            yield api.sleep(5 * MSEC)
+            yield api.run(100 * USEC)
+
+    task = env.kernel.spawn(body, "small", latency_sensitive=True, **kw)
+    return task
+
+
+def spinner(env, cpu, policy=Policy.NORMAL):
+    def body(api):
+        while True:
+            yield api.run(300 * USEC)
+
+    return env.kernel.spawn(body, f"spin{cpu}", policy=policy, cpu=cpu,
+                            allowed=(cpu,))
+
+
+class TestSmallTaskGate:
+    def test_unmarked_task_falls_through(self):
+        env, module, bvs = make_env()
+        for c in range(4):
+            set_entry(module, c)
+
+        def body(api):
+            while True:
+                yield api.sleep(MSEC)
+                yield api.run(10 * USEC)
+
+        env.kernel.spawn(body, "unmarked")  # no latency hint
+        env.engine.run_until(200 * MSEC)
+        assert bvs.hits == 0
+
+    def test_marked_small_task_is_handled(self):
+        env, module, bvs = make_env()
+        for c in range(4):
+            set_entry(module, c)
+        env.engine.run_until(10 * MSEC)  # let idle_since age
+        small_task(env)
+        env.engine.run_until(200 * MSEC)
+        assert bvs.hits > 0
+
+    def test_marked_but_cpu_bound_falls_through(self):
+        env, module, bvs = make_env()
+        for c in range(4):
+            set_entry(module, c)
+
+        def body(api):
+            yield api.run(1 * SEC)
+
+        env.kernel.spawn(body, "hot", latency_sensitive=True,
+                         initial_util=1000)
+        env.engine.run_until(50 * MSEC)
+        assert bvs.hits == 0
+
+
+class TestEmptyRqBranch:
+    def test_prefers_low_latency_idle_vcpu(self):
+        env, module, bvs = make_env(4)
+        # cpus 0,1 high latency; 2,3 low latency; all same capacity.
+        set_entry(module, 0, latency_ms=8.0)
+        set_entry(module, 1, latency_ms=8.0)
+        set_entry(module, 2, latency_ms=1.0)
+        set_entry(module, 3, latency_ms=1.0)
+        env.engine.run_until(10 * MSEC)
+        t = small_task(env)
+        chosen = set()
+        for _ in range(12):
+            env.engine.run_until(env.engine.now + 6 * MSEC)
+            if t.cpu is not None:
+                chosen.add(t.cpu.index)
+        assert chosen <= {2, 3}, chosen
+
+    def test_low_capacity_vcpus_rejected(self):
+        env, module, bvs = make_env(4)
+        set_entry(module, 0, capacity=200.0, latency_ms=0.5)
+        set_entry(module, 1, capacity=200.0, latency_ms=0.5)
+        set_entry(module, 2, capacity=1024.0, latency_ms=3.0)
+        set_entry(module, 3, capacity=1024.0, latency_ms=3.0)
+        env.engine.run_until(10 * MSEC)
+        t = small_task(env)
+        chosen = set()
+        for _ in range(12):
+            env.engine.run_until(env.engine.now + 6 * MSEC)
+            if t.cpu is not None:
+                chosen.add(t.cpu.index)
+        # The fast-but-weak vCPUs are out (runqueue-saturation guard).
+        assert chosen <= {2, 3}, chosen
+
+    def test_recently_idled_vcpu_not_chosen(self):
+        env, module, bvs = make_env(2)
+        set_entry(module, 0)
+        set_entry(module, 1)
+        env.engine.run_until(10 * MSEC)
+        # Make cpu1 "just idled": a short burst that ends right before the
+        # wake (idle_since fresh).
+        def burst(api):
+            yield api.run(9 * MSEC)
+
+        env.kernel.spawn(burst, "burst", cpu=1, allowed=(1,))
+        env.engine.run_until(19 * MSEC + 500 * USEC)  # burst just ended
+        assert env.engine.now - env.kernel.cpus[1].idle_since < 2 * MSEC
+        target = bvs(small_task_obj(env), None)
+        # cpu0 qualifies (long idle), cpu1 does not (idle < LONG_IDLE_NS).
+        assert target == 0
+
+
+def small_task_obj(env):
+    """A latency-marked task object without waking it (for direct calls)."""
+    def body(api):
+        yield api.run(10 * USEC)
+
+    from repro.guest.task import Task
+    t = Task(env.kernel, "probe", body, latency_sensitive=True)
+    t.pelt.set_util(50, env.engine.now)
+    return t
+
+
+class TestSchedIdleBranch:
+    def test_active_recent_sched_idle_vcpu_is_ideal(self):
+        env, module, bvs = make_env(2)
+        set_entry(module, 0, latency_ms=2.0, active_ms=6.0)
+        set_entry(module, 1, latency_ms=2.0, active_ms=6.0)
+        spinner(env, 1, policy=Policy.IDLE)  # best-effort occupies cpu1
+        env.engine.run_until(30 * MSEC)
+        # Mark cpu1 as recently active per the heartbeat estimate.
+        env.kernel.cpus[1].active_since_est = env.engine.now - MSEC
+        # cpu0 is guest-idle but "recently idled" (fails LONG_IDLE):
+        env.kernel.cpus[0].idle_since = env.engine.now
+        target = bvs(small_task_obj(env), None)
+        assert target == 1
+
+    def test_untrusted_cv_skips_prediction_branch(self):
+        env, module, bvs = make_env(2)
+        set_entry(module, 0, latency_ms=2.0, cv=2.0)   # erratic
+        set_entry(module, 1, latency_ms=2.0, cv=0.0)
+        spinner(env, 0, policy=Policy.IDLE)
+        spinner(env, 1, policy=Policy.IDLE)
+        env.engine.run_until(30 * MSEC)
+        for c in (0, 1):
+            env.kernel.cpus[c].active_since_est = env.engine.now - MSEC
+        target = bvs(small_task_obj(env), None)
+        assert target == 1  # the erratic vCPU is skipped
+
+    def test_fallback_to_cfs_when_nothing_qualifies(self):
+        env, module, bvs = make_env(2)
+        set_entry(module, 0, latency_ms=9.0)
+        set_entry(module, 1, latency_ms=9.0)
+        # Latency of both far above... median == their value, so empty-rq
+        # branch actually accepts; instead occupy both with normal tasks.
+        spinner(env, 0)
+        spinner(env, 1)
+        env.engine.run_until(30 * MSEC)
+        before = bvs.fallbacks
+        assert bvs(small_task_obj(env), None) is None
+        assert bvs.fallbacks == before + 1

@@ -1,0 +1,38 @@
+"""CLI and tooling smoke tests (fast paths only)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_cli_run_single_experiment(capsys, tmp_path):
+    out_file = tmp_path / "out.txt"
+    rc = main(["run", "fig3", "--fast", "--out", str(out_file)])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "fig3" in captured
+    assert "shape check OK" in captured
+    assert "fig3" in out_file.read_text()
+
+
+def test_cli_no_check_flag(capsys):
+    rc = main(["run", "fig10b", "--fast", "--no-check"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shape check OK" not in out
+
+
+def test_cli_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["run", "fig99", "--fast"])
+
+
+def test_module_entrypoint_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "list"],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0
+    assert "fig21" in proc.stdout

@@ -1,0 +1,169 @@
+"""Unit tests for vSched core: EMA, abstraction store, module, rwc."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import build_plain_vm, build_rcvm
+from repro.core import (
+    AbstractionStore,
+    Ema,
+    TopologyView,
+    VSched,
+    VSchedConfig,
+    VSchedModule,
+    alpha_for_halflife,
+)
+from repro.sim import MSEC, SEC
+
+
+class TestEma:
+    def test_first_sample_adopted(self):
+        e = Ema(0.3)
+        assert e.update(10.0) == 10.0
+
+    def test_halflife_semantics(self):
+        alpha = alpha_for_halflife(2.0)
+        e = Ema(alpha, initial=100.0)
+        e.update(0.0)
+        e.update(0.0)
+        assert e.get() == pytest.approx(50.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            Ema(0.0)
+        with pytest.raises(ValueError):
+            Ema(1.5)
+        with pytest.raises(ValueError):
+            alpha_for_halflife(0)
+
+    @given(st.lists(st.floats(0, 1024), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_ema_stays_within_sample_range(self, samples):
+        e = Ema(0.29, initial=512.0)
+        lo = min(samples + [512.0])
+        hi = max(samples + [512.0])
+        for s in samples:
+            v = e.update(s)
+            assert lo - 1e-9 <= v <= hi + 1e-9
+
+
+class TestAbstractionStore:
+    def test_medians(self):
+        store = AbstractionStore(4)
+        for i, cap in enumerate((100, 200, 300, 400)):
+            store[i].ema_capacity.value = float(cap)
+            store[i].latency_ns = float(i)
+        assert store.median_capacity() == 250.0
+        assert store.median_latency() == 1.5
+        assert store.mean_capacity() == 250.0
+
+    def test_topology_view_stacked_partners(self):
+        view = TopologyView(4)
+        view.stack_groups = [frozenset({2, 3})]
+        assert view.stacked_partners(2) == frozenset({3})
+        assert view.stacked_partners(0) == frozenset()
+
+    def test_topology_equality(self):
+        a, b = TopologyView(4), TopologyView(4)
+        assert a.equals(b)
+        b.stack_groups = [frozenset({0, 1})]
+        assert not a.equals(b)
+
+
+class TestModule:
+    def test_capacity_provider_installation(self):
+        env = build_plain_vm(2)
+        module = VSchedModule(env.kernel)
+        module.publish_capacity(0, 333.0)
+        assert env.kernel.capacity_of(0) != pytest.approx(333.0, abs=1)
+        module.install_capacity_provider()
+        # EMA from 1024 toward 333 with the 2-period half-life.
+        assert env.kernel.capacity_of(0) < 1024.0
+        for _ in range(8):
+            module.publish_capacity(0, 333.0)
+        assert abs(env.kernel.capacity_of(0) - 333.0) < 60
+
+    def test_topology_publish_rebuilds_domains(self):
+        env = build_plain_vm(4)
+        module = VSchedModule(env.kernel)
+        assert not env.kernel.domains.has_smt_level()
+        view = TopologyView(4)
+        view.smt_siblings = {0: frozenset({0, 1}), 1: frozenset({0, 1}),
+                             2: frozenset({2, 3}), 3: frozenset({2, 3})}
+        view.socket_siblings = {c: frozenset(range(4)) for c in range(4)}
+        module.publish_topology(view)
+        assert env.kernel.domains.has_smt_level()
+        assert env.kernel.domains.smt_siblings(0) == frozenset({0, 1})
+
+    def test_subscribers_notified(self):
+        env = build_plain_vm(2)
+        module = VSchedModule(env.kernel)
+        calls = []
+        module.subscribe(lambda: calls.append(1))
+        module.sampling_complete()
+        module.publish_topology(TopologyView(2))
+        assert len(calls) == 2
+
+
+class TestVSchedConfig:
+    def test_presets(self):
+        base = VSchedConfig.baseline()
+        assert not any((base.enable_vcap, base.enable_bvs, base.enable_ivh,
+                        base.enable_rwc, base.enable_vtop, base.enable_vact))
+        enh = VSchedConfig.enhanced()
+        assert enh.enable_vcap and enh.enable_rwc
+        assert not enh.enable_bvs and not enh.enable_ivh
+        full = VSchedConfig.full()
+        assert full.enable_bvs and full.enable_ivh
+
+    def test_with_override(self):
+        cfg = VSchedConfig.full().with_(enable_ivh=False)
+        assert not cfg.enable_ivh
+        assert cfg.enable_bvs
+
+    def test_techniques_require_probers(self):
+        env = build_plain_vm(2)
+        with pytest.raises(ValueError):
+            VSched(env.kernel, VSchedConfig.baseline().with_(enable_bvs=True))
+
+
+class TestRwc:
+    def test_stacked_vcpus_hidden(self):
+        env = build_rcvm()
+        vs = VSched(env.kernel, VSchedConfig.enhanced())
+        vs.start()
+        env.engine.run_until(10 * SEC)
+        hidden = vs.rwc.hidden_cpus()
+        # One of the stacked pair (10, 11) must be hidden.
+        assert len(hidden & {10, 11}) == 1
+        allowed = vs.workload_group.allowed
+        assert allowed is not None
+        assert not (hidden & allowed)
+
+    def test_straggler_hidden_with_hysteresis(self):
+        env = build_plain_vm(4)
+        from repro.hypervisor.entity import weight_for_nice
+        env.machine.add_host_task("hog", weight=weight_for_nice(-20),
+                                  pinned=(0,))
+        vs = VSched(env.kernel, VSchedConfig.enhanced())
+        vs.start()
+        env.engine.run_until(12 * SEC)
+        assert 0 in vs.rwc.stragglers
+        assert 0 not in vs.workload_group.allowed
+        # Best-effort tasks may still use the straggler.
+        assert (vs.besteffort_group.allowed is None
+                or 0 in vs.besteffort_group.allowed)
+
+    def test_straggler_unbanned_on_recovery(self):
+        env = build_plain_vm(4)
+        from repro.hypervisor.entity import weight_for_nice
+        hog = env.machine.add_host_task("hog", weight=weight_for_nice(-20),
+                                        pinned=(0,))
+        vs = VSched(env.kernel, VSchedConfig.enhanced())
+        vs.start()
+        env.engine.run_until(12 * SEC)
+        assert 0 in vs.rwc.stragglers
+        env.machine.remove_host_task(hog)
+        env.engine.run_until(env.engine.now + 10 * SEC)
+        assert 0 not in vs.rwc.stragglers
+        assert 0 in vs.workload_group.allowed

@@ -1,0 +1,97 @@
+"""Tests for the DVFS ramp and SMT speed dynamics end to end."""
+
+import pytest
+
+from repro.cluster import build_plain_vm
+from repro.hw.speed import SpeedConfig
+from repro.sim import MSEC, SEC, USEC
+
+
+class TestDvfs:
+    def test_cold_core_runs_slower_then_ramps(self):
+        env = build_plain_vm(1, speed=SpeedConfig(dvfs_enabled=True))
+        done = []
+
+        def body(api):
+            yield api.run(10 * MSEC)
+            done.append(api.now())
+
+        env.kernel.spawn(body, "t")
+        env.engine.run_until(SEC)
+        elapsed = done[0]
+        # First 200 us at 0.85 then 1.0:
+        # work = 0.2*0.85 + (t-0.2)*1.0 = 10ms -> t = 10ms + 0.2*0.15/1.0
+        expected = 10 * MSEC + int(200 * USEC * 0.15 / 0.85 * 0.85)  # ~30 us
+        assert elapsed == pytest.approx(expected, abs=40 * USEC)
+        assert elapsed > 10 * MSEC  # strictly slower than a warm core
+
+    def test_warm_core_stays_warm_across_short_gaps(self):
+        env = build_plain_vm(1, speed=SpeedConfig(dvfs_enabled=True))
+        stamps = []
+
+        def body(api):
+            yield api.run(5 * MSEC)     # warms the core
+            stamps.append(api.now())
+            yield api.sleep(500 * USEC)  # shorter than the cooldown
+            yield api.run(5 * MSEC)
+            stamps.append(api.now())
+
+        env.kernel.spawn(body, "t")
+        env.engine.run_until(SEC)
+        second_burst = stamps[1] - stamps[0] - 500 * USEC
+        # No cold penalty on the second burst.
+        assert second_burst == pytest.approx(5 * MSEC, abs=20 * USEC)
+
+    def test_core_cools_after_long_idle(self):
+        env = build_plain_vm(1, speed=SpeedConfig(dvfs_enabled=True))
+        stamps = []
+
+        def body(api):
+            yield api.run(5 * MSEC)
+            stamps.append(api.now())
+            yield api.sleep(20 * MSEC)  # longer than the 2 ms cooldown
+            yield api.run(5 * MSEC)
+            stamps.append(api.now())
+
+        env.kernel.spawn(body, "t")
+        env.engine.run_until(SEC)
+        second_burst = stamps[1] - stamps[0] - 20 * MSEC
+        assert second_burst > 5 * MSEC + 20 * USEC  # paid the ramp again
+
+
+class TestSmtDynamics:
+    def test_sibling_activity_slows_and_recovers(self):
+        env = build_plain_vm(2, smt=2, cores_per_socket=1)
+        done = []
+
+        def burner(api):
+            yield api.run(100 * MSEC)
+            done.append(api.now())
+
+        def intruder(api):
+            yield api.sleep(20 * MSEC)
+            yield api.run(31 * MSEC)  # busy sibling for ~50ms wall at 0.62
+
+        env.kernel.spawn(burner, "burn", cpu=0, allowed=(0,))
+        env.kernel.spawn(intruder, "in", cpu=1, allowed=(1,))
+        env.engine.run_until(SEC)
+        elapsed = done[0]
+        # burner: 20ms solo + 50ms at 0.62 (losing 19ms of work) + rest solo.
+        assert elapsed > 115 * MSEC
+        assert elapsed < 145 * MSEC
+
+    def test_smt_work_conservation(self):
+        """Two siblings each lose speed but the core's combined throughput
+        exceeds a single thread (0.62 * 2 > 1)."""
+        env = build_plain_vm(2, smt=2, cores_per_socket=1)
+        tasks = []
+
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        for i in range(2):
+            tasks.append(env.kernel.spawn(spin, f"t{i}", cpu=i, allowed=(i,)))
+        env.engine.run_until(1 * SEC)
+        total = sum(t.stats.work_done for t in tasks)
+        assert total == pytest.approx(2 * 0.62 * SEC, rel=0.02)

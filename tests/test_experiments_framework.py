@@ -1,0 +1,76 @@
+"""Tests for the experiment framework and CLI plumbing (no heavy runs)."""
+
+import pytest
+
+from repro.experiments.common import (
+    EXPERIMENTS,
+    Table,
+    check_experiment,
+    load_experiment,
+    run_experiment,
+)
+from repro.experiments.cli import ALL_ORDER, main
+
+
+class TestTable:
+    def test_add_and_column(self):
+        t = Table("x", "title", ["a", "b"])
+        t.add("r1", 1.5)
+        t.add("r2", 2.5)
+        assert t.column("b") == [1.5, 2.5]
+        assert t.cell("r2", "b") == 2.5
+
+    def test_row_width_enforced(self):
+        t = Table("x", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add("only-one")
+
+    def test_missing_row_key(self):
+        t = Table("x", "t", ["a", "b"])
+        t.add("r", 1)
+        with pytest.raises(KeyError):
+            t.cell("nope", "b")
+
+    def test_render_contains_everything(self):
+        t = Table("fig0", "demo", ["name", "value"],
+                  paper_expectation="should be big")
+        t.add("alpha", 12.345)
+        t.notes.append("a note")
+        out = t.render()
+        assert "fig0" in out and "demo" in out
+        assert "alpha" in out and "12.35" in out
+        assert "note: a note" in out
+        assert "paper: should be big" in out
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {"fig2", "fig3", "fig4", "fig10a", "fig10b", "tab2",
+                    "fig11", "fig12", "fig13", "fig14", "tab3", "fig15",
+                    "tab4", "fig16", "fig17", "fig18", "fig19", "fig20",
+                    "fig21"}
+        assert set(EXPERIMENTS) == expected
+        assert set(ALL_ORDER) == expected
+
+    def test_every_module_loads_with_run_and_check(self):
+        for exp_id in EXPERIMENTS:
+            mod = load_experiment(exp_id)
+            runner = getattr(mod, f"run_{exp_id}", None) or mod.run
+            checker = getattr(mod, f"check_{exp_id}", None) or mod.check
+            assert callable(runner) and callable(checker)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            load_experiment("fig99")
+
+    def test_cli_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig18" in out and "tab4" in out
+
+
+class TestSmallestExperimentEndToEnd:
+    def test_fig3_runs_and_checks(self):
+        table = run_experiment("fig3", fast=True)
+        check_experiment("fig3", table)
+        assert table.cell("migration", "vcpu_utilization_pct") > 90.0

@@ -1,0 +1,53 @@
+"""Every named benchmark of the paper's suite runs to completion.
+
+One tiny instance per catalogue entry — catches generator bugs (deadlocked
+pipelines, wrong poison pills, bad parameter derivations) across all 34
+names without the cost of full-size runs.
+"""
+
+import pytest
+
+from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
+from repro.sim import SEC
+from repro.workloads import (
+    OVERALL_LATENCY,
+    OVERALL_THROUGHPUT,
+    build_workload,
+)
+
+EXTRA = ["hackbench", "fio", "matmul"]
+
+
+@pytest.mark.parametrize("name", OVERALL_THROUGHPUT + EXTRA)
+def test_throughput_benchmark_completes(name):
+    env = build_plain_vm(4)
+    vs = attach_scheduler(env, "cfs")
+    ctx = make_context(env, vs, f"cat-{name}")
+    wl = build_workload(name, threads=4, scale=0.02)
+    run_to_completion(env, [wl], ctx, timeout_ns=300 * SEC)
+    assert wl.done
+    assert wl.elapsed_ns() > 0
+
+
+@pytest.mark.parametrize("name", OVERALL_LATENCY)
+def test_latency_benchmark_completes(name):
+    env = build_plain_vm(4)
+    vs = attach_scheduler(env, "cfs")
+    ctx = make_context(env, vs, f"cat-{name}")
+    wl = build_workload(name, threads=4, n_requests=50)
+    run_to_completion(env, [wl], ctx, timeout_ns=300 * SEC)
+    assert wl.done
+    assert len(wl.requests) > 0
+    assert wl.p95_ns() > 0
+
+
+@pytest.mark.parametrize("name", OVERALL_THROUGHPUT[:6])
+def test_benchmark_completes_under_full_vsched(name):
+    """A subset also runs under the full vSched stack (hook safety)."""
+    env = build_plain_vm(4)
+    vs = attach_scheduler(env, "vsched")
+    ctx = make_context(env, vs, f"catv-{name}")
+    env.engine.run_until(4 * SEC)
+    wl = build_workload(name, threads=4, scale=0.02)
+    run_to_completion(env, [wl], ctx, timeout_ns=300 * SEC)
+    assert wl.done

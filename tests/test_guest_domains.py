@@ -1,0 +1,81 @@
+"""Unit tests for schedule domains and the cgroup cpuset model."""
+
+import pytest
+
+from repro.guest.cgroup import TaskGroup
+from repro.guest.domains import DomainLevel, SchedDomains
+
+
+class TestDomainLevel:
+    def test_group_of(self):
+        level = DomainLevel("smt", [[0, 1], [2, 3]])
+        assert level.group_of(0) == frozenset({0, 1})
+        assert level.group_of(3) == frozenset({2, 3})
+        assert level.group_of(7) is None
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            DomainLevel("bad", [[0, 1], [1, 2]])
+
+
+class TestSchedDomains:
+    def test_flat_default(self):
+        d = SchedDomains.flat(8)
+        assert not d.has_smt_level()
+        assert d.llc_domain(3) == frozenset(range(8))
+        assert d.smt_siblings(3) == frozenset({3})
+
+    def test_from_topology_lists(self):
+        smt = {0: frozenset({0, 1}), 1: frozenset({0, 1}),
+               2: frozenset({2, 3}), 3: frozenset({2, 3}),
+               4: frozenset({4, 5}), 5: frozenset({4, 5}),
+               6: frozenset({6}), 7: frozenset({7})}
+        sock = {c: frozenset({0, 1, 2, 3}) for c in range(4)}
+        sock.update({c: frozenset({4, 5, 6, 7}) for c in range(4, 8)})
+        d = SchedDomains.from_topology_lists(8, smt, sock)
+        assert d.has_smt_level()
+        assert d.smt_siblings(0) == frozenset({0, 1})
+        assert d.smt_siblings(6) == frozenset({6})
+        assert d.llc_domain(2) == frozenset({0, 1, 2, 3})
+        assert d.llc_domain(7) == frozenset({4, 5, 6, 7})
+
+    def test_single_socket_has_no_llc_level(self):
+        smt = {c: frozenset({c}) for c in range(4)}
+        sock = {c: frozenset(range(4)) for c in range(4)}
+        d = SchedDomains.from_topology_lists(4, smt, sock)
+        assert [l.name for l in d.levels] == ["machine"]
+
+    def test_inconsistent_sibling_lists_rejected(self):
+        smt = {0: frozenset({0, 1}), 1: frozenset({1, 2}),
+               2: frozenset({2}), 3: frozenset({3})}
+        sock = {c: frozenset(range(4)) for c in range(4)}
+        with pytest.raises(ValueError):
+            SchedDomains.from_topology_lists(4, smt, sock)
+
+
+class TestTaskGroup:
+    def test_mask_intersection_with_task_affinity(self):
+        from repro.cluster import build_plain_vm
+        env = build_plain_vm(4)
+        g = env.kernel.new_group("g")
+        g.set_allowed(frozenset({1, 2}))
+
+        def body(api):
+            yield api.run(1000)
+
+        t = env.kernel.spawn(body, "t", group=g, allowed=(2, 3))
+        assert t.effective_allowed() == frozenset({2})
+        assert t.may_run_on(2)
+        assert not t.may_run_on(1)
+        assert not t.may_run_on(3)
+
+    def test_none_mask_means_everywhere(self):
+        from repro.cluster import build_plain_vm
+        env = build_plain_vm(4)
+
+        def body(api):
+            yield api.run(1000)
+
+        t = env.kernel.spawn(body, "t")
+        assert t.effective_allowed() is None
+        assert all(t.may_run_on(c) for c in range(4))

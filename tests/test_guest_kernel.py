@@ -1,0 +1,361 @@
+"""Integration tests for the guest kernel: tasks, actions, scheduling."""
+
+import pytest
+
+from repro.cluster import build_plain_vm
+from repro.guest import Barrier, Channel, Mutex, Policy, TaskState
+from repro.sim import MSEC, SEC, USEC
+
+
+def make_env(n=4, **kw):
+    return build_plain_vm(n, **kw)
+
+
+class TestRunAction:
+    def test_work_completes_in_wall_time_on_dedicated_vcpu(self):
+        env = make_env()
+        done = []
+
+        def body(api):
+            yield api.run(50 * MSEC)
+            done.append(api.now())
+
+        env.kernel.spawn(body, "t")
+        env.engine.run_until(1 * SEC)
+        assert done and abs(done[0] - 50 * MSEC) < 2 * MSEC
+
+    def test_two_tasks_one_vcpu_share_fairly(self):
+        env = make_env(1)
+        done = {}
+
+        def body(name):
+            def gen(api):
+                yield api.run(100 * MSEC)
+                done[name] = api.now()
+            return gen
+
+        env.kernel.spawn(body("a"), "a", cpu=0, allowed=(0,))
+        env.kernel.spawn(body("b"), "b", cpu=0, allowed=(0,))
+        env.engine.run_until(1 * SEC)
+        # Both finish around 200 ms (interleaved fairly).
+        assert abs(done["a"] - 200 * MSEC) < 20 * MSEC
+        assert abs(done["b"] - 200 * MSEC) < 20 * MSEC
+
+    def test_zero_work_run_is_fine(self):
+        env = make_env()
+        done = []
+
+        def body(api):
+            yield api.run(0)
+            yield api.run(1000)
+            done.append(True)
+
+        env.kernel.spawn(body, "z")
+        env.engine.run_until(MSEC)
+        assert done
+
+
+class TestSleepAction:
+    def test_sleep_duration(self):
+        env = make_env()
+        times = []
+
+        def body(api):
+            times.append(api.now())
+            yield api.sleep(30 * MSEC)
+            times.append(api.now())
+
+        env.kernel.spawn(body, "s")
+        env.engine.run_until(1 * SEC)
+        assert abs((times[1] - times[0]) - 30 * MSEC) < MSEC
+
+    def test_sleeping_task_frees_the_cpu(self):
+        env = make_env(1)
+        progress = []
+
+        def sleeper(api):
+            yield api.sleep(100 * MSEC)
+
+        def worker(api):
+            yield api.run(50 * MSEC)
+            progress.append(api.now())
+
+        env.kernel.spawn(sleeper, "sleeper", cpu=0, allowed=(0,))
+        env.kernel.spawn(worker, "worker", cpu=0, allowed=(0,))
+        env.engine.run_until(1 * SEC)
+        assert progress and progress[0] < 60 * MSEC
+
+
+class TestChannels:
+    def test_send_recv_roundtrip(self):
+        env = make_env()
+        ch = Channel("c")
+        got = []
+
+        def producer(api):
+            yield api.send(ch, 42)
+
+        def consumer(api):
+            v = yield api.recv(ch)
+            got.append(v)
+
+        env.kernel.spawn(consumer, "c")
+        env.engine.run_until(MSEC)
+        env.kernel.spawn(producer, "p")
+        env.engine.run_until(10 * MSEC)
+        assert got == [42]
+
+    def test_fifo_order(self):
+        env = make_env()
+        ch = Channel("c")
+        got = []
+
+        def producer(api):
+            for i in range(5):
+                yield api.send(ch, i)
+
+        def consumer(api):
+            for _ in range(5):
+                v = yield api.recv(ch)
+                got.append(v)
+                yield api.run(100 * USEC)
+
+        env.kernel.spawn(producer, "p")
+        env.kernel.spawn(consumer, "c")
+        env.engine.run_until(1 * SEC)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_backpressure(self):
+        env = make_env()
+        ch = Channel("c", capacity=2)
+        produced = []
+
+        def producer(api):
+            for i in range(6):
+                yield api.send(ch, i)
+                produced.append(api.now())
+
+        env.kernel.spawn(producer, "p")
+        env.engine.run_until(50 * MSEC)
+        # Only capacity+1 sends complete until someone consumes.
+        assert len(produced) <= 3
+        got = []
+
+        def consumer(api):
+            for _ in range(6):
+                got.append((yield api.recv(ch)))
+
+        env.kernel.spawn(consumer, "c")
+        env.engine.run_until(100 * MSEC)
+        assert got == list(range(6))
+
+    def test_external_injection(self):
+        env = make_env()
+        ch = Channel("c")
+        got = []
+
+        def consumer(api):
+            while True:
+                got.append((yield api.recv(ch)))
+
+        env.kernel.spawn(consumer, "c")
+        env.engine.run_until(MSEC)
+        env.kernel.send_external(ch, "hello")
+        env.engine.run_until(10 * MSEC)
+        assert got == ["hello"]
+
+
+class TestMutex:
+    def test_mutual_exclusion(self):
+        env = make_env()
+        m = Mutex("m")
+        trace = []
+
+        def body(name):
+            def gen(api):
+                yield api.lock(m)
+                trace.append((name, "in", api.now()))
+                yield api.run(10 * MSEC)
+                trace.append((name, "out", api.now()))
+                yield api.unlock(m)
+            return gen
+
+        env.kernel.spawn(body("a"), "a")
+        env.kernel.spawn(body("b"), "b")
+        env.engine.run_until(1 * SEC)
+        # Critical sections must not overlap.
+        ins = [t for n, k, t in trace if k == "in"]
+        outs = [t for n, k, t in trace if k == "out"]
+        assert len(ins) == 2
+        assert min(outs) <= max(ins)
+        intervals = sorted(zip(ins, outs))
+        assert intervals[0][1] <= intervals[1][0]
+
+    def test_unlock_not_owner_raises(self):
+        env = make_env()
+        m = Mutex("m")
+
+        def bad(api):
+            yield api.unlock(m)
+
+        # The error surfaces as soon as the task first runs — which happens
+        # synchronously during spawn on an idle dedicated vCPU.
+        with pytest.raises(RuntimeError):
+            env.kernel.spawn(bad, "bad")
+            env.engine.run_until(10 * MSEC)
+
+    def test_spin_mutex_burns_cpu(self):
+        env = make_env(2)
+        m = Mutex("m", spin=True)
+
+        def holder(api):
+            yield api.lock(m)
+            yield api.run(20 * MSEC)
+            yield api.unlock(m)
+
+        def spinner(api):
+            yield api.run(1 * MSEC)  # let the holder grab it first
+            yield api.lock(m)
+            yield api.unlock(m)
+
+        h = env.kernel.spawn(holder, "h", cpu=0, allowed=(0,))
+        s = env.kernel.spawn(spinner, "s", cpu=1, allowed=(1,))
+        env.engine.run_until(100 * MSEC)
+        # The spinner burned CPU while waiting (~19 ms of polling).
+        assert s.stats.work_done > 10 * MSEC
+
+
+class TestBarrier:
+    def test_barrier_releases_all(self):
+        env = make_env()
+        b = Barrier(3)
+        passed = []
+
+        def body(i):
+            def gen(api):
+                yield api.run((i + 1) * MSEC)
+                yield api.barrier(b)
+                passed.append((i, api.now()))
+            return gen
+
+        for i in range(3):
+            env.kernel.spawn(body(i), f"t{i}")
+        env.engine.run_until(1 * SEC)
+        assert len(passed) == 3
+        times = [t for _, t in passed]
+        # All pass at the last arrival (~3 ms).
+        assert max(times) - min(times) < MSEC
+        assert abs(max(times) - 3 * MSEC) < MSEC
+
+    def test_barrier_reusable_across_generations(self):
+        env = make_env()
+        b = Barrier(2)
+        rounds = []
+
+        def body(api):
+            for r in range(3):
+                yield api.run(MSEC)
+                yield api.barrier(b)
+                rounds.append(r)
+
+        env.kernel.spawn(body, "a")
+        env.kernel.spawn(body, "b")
+        env.engine.run_until(1 * SEC)
+        assert sorted(rounds) == [0, 0, 1, 1, 2, 2]
+        assert b.completed == 3
+
+
+class TestSchedIdle:
+    def test_normal_preempts_idle_policy(self):
+        env = make_env(1)
+        done = {}
+
+        def spinner(api):
+            while True:
+                yield api.run(500 * USEC)
+
+        def urgent(api):
+            yield api.run(10 * MSEC)
+            done["urgent"] = api.now()
+
+        env.kernel.spawn(spinner, "be", policy=Policy.IDLE, cpu=0,
+                         allowed=(0,))
+        env.engine.run_until(50 * MSEC)
+        env.kernel.spawn(urgent, "urgent", cpu=0, allowed=(0,))
+        env.engine.run_until(1 * SEC)
+        # The urgent task runs as if alone (idle task yields immediately).
+        assert abs(done["urgent"] - 60 * MSEC) < 2 * MSEC
+
+    def test_idle_task_gets_leftover_cpu(self):
+        env = make_env(1)
+
+        def spinner(api):
+            while True:
+                yield api.run(500 * USEC)
+
+        be = env.kernel.spawn(spinner, "be", policy=Policy.IDLE, cpu=0,
+                              allowed=(0,))
+        env.engine.run_until(100 * MSEC)
+        assert be.stats.work_done > 90 * MSEC
+
+
+class TestExitAndStats:
+    def test_exit_callback_and_state(self):
+        env = make_env()
+        exited = []
+
+        def body(api):
+            yield api.run(MSEC)
+
+        t = env.kernel.spawn(body, "t")
+        env.kernel.on_exit(t, lambda task: exited.append(task.name))
+        env.engine.run_until(10 * MSEC)
+        assert t.state == TaskState.EXITED
+        assert exited == ["t"]
+
+    def test_wakeup_and_dispatch_counters(self):
+        env = make_env()
+
+        def body(api):
+            for _ in range(5):
+                yield api.run(100 * USEC)
+                yield api.sleep(1 * MSEC)
+
+        t = env.kernel.spawn(body, "t")
+        env.engine.run_until(1 * SEC)
+        assert t.stats.wakeups >= 5
+        assert t.stats.dispatches >= 5
+
+
+class TestCpuset:
+    def test_group_mask_constrains_placement(self):
+        env = make_env(4)
+        g = env.kernel.new_group("g")
+        g.set_allowed(frozenset({2}))
+        seen = set()
+
+        def body(api):
+            for _ in range(20):
+                yield api.run(200 * USEC)
+                seen.add(api.cpu_index())
+                yield api.sleep(500 * USEC)
+
+        env.kernel.spawn(body, "t", group=g)
+        env.engine.run_until(1 * SEC)
+        assert seen == {2}
+
+    def test_apply_cpuset_evicts_running_task(self):
+        env = make_env(4)
+        g = env.kernel.new_group("g")
+
+        def body(api):
+            yield api.run(10 * SEC)
+
+        t = env.kernel.spawn(body, "t", group=g, cpu=0)
+        env.engine.run_until(10 * MSEC)
+        assert t.cpu.index == 0
+        g.set_allowed(frozenset({3}))
+        env.kernel.apply_cpuset(g)
+        env.engine.run_until(20 * MSEC)
+        assert t.cpu.index == 3
+        assert t.state == TaskState.RUNNING

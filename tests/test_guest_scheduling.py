@@ -1,0 +1,178 @@
+"""Scheduler-behaviour tests: placement, balancing, ticks, steal visibility."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import build_plain_vm
+from repro.guest import GuestKernel, Policy, TaskState
+from repro.guest.domains import DomainLevel, SchedDomains
+from repro.hw import HostTopology
+from repro.hypervisor import Machine
+from repro.sim import Engine, MSEC, SEC, USEC
+
+
+class TestWakePlacement:
+    def test_fork_spreads_across_llc_groups(self):
+        env = build_plain_vm(8, sockets=2)
+        # Install real socket domains directly.
+        env.kernel.domains = SchedDomains(8, [
+            DomainLevel("llc", [range(0, 4), range(4, 8)]),
+            DomainLevel("machine", [range(8)]),
+        ])
+
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        tasks = [env.kernel.spawn(spin, f"t{i}") for i in range(8)]
+        env.engine.run_until(50 * MSEC)
+        left = sum(1 for t in tasks if t.cpu.index < 4)
+        assert left == 4  # fork balancing alternates sockets
+
+    def test_wake_prefers_idle_previous_cpu(self):
+        env = build_plain_vm(4)
+        seen = []
+
+        def napper(api):
+            for _ in range(10):
+                yield api.run(100 * USEC)
+                seen.append(api.cpu_index())
+                yield api.sleep(2 * MSEC)
+
+        env.kernel.spawn(napper, "n", cpu=2)
+        env.engine.run_until(1 * SEC)
+        assert set(seen) == {2}
+
+    def test_smt_level_prefers_whole_idle_cores(self):
+        env = build_plain_vm(8, smt=2, cores_per_socket=4)
+        env.kernel.domains = SchedDomains(8, [
+            DomainLevel("smt", [(0, 1), (2, 3), (4, 5), (6, 7)]),
+            DomainLevel("machine", [range(8)]),
+        ])
+
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        tasks = [env.kernel.spawn(spin, f"t{i}") for i in range(4)]
+        env.engine.run_until(20 * MSEC)
+        cores = {t.cpu.index // 2 for t in tasks}
+        assert len(cores) == 4  # one per core, no sibling doubling
+
+
+class TestLoadBalancing:
+    def test_queued_tasks_spread_to_idle_cpus(self):
+        env = build_plain_vm(4)
+        tasks = []
+
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        # Force all four onto CPU 0 initially.
+        for i in range(4):
+            t = env.kernel.spawn(spin, f"t{i}", cpu=0, allowed=None)
+            tasks.append(t)
+            # Pin placement start to cpu0 by direct enqueue is not needed:
+            # spawn with cpu hints only sets prev; placement may spread.
+        env.engine.run_until(500 * MSEC)
+        busy = {t.cpu.index for t in tasks if t.cpu is not None}
+        assert len(busy) == 4  # balancer achieved one task per CPU
+
+    def test_affinity_respected_by_balancer(self):
+        env = build_plain_vm(4)
+
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        pinned = [env.kernel.spawn(spin, f"p{i}", cpu=0, allowed=(0, 1))
+                  for i in range(4)]
+        env.engine.run_until(500 * MSEC)
+        for t in pinned:
+            assert t.cpu.index in (0, 1)
+
+
+class TestStealVisibility:
+    def test_guest_reads_steal_time(self):
+        env = build_plain_vm(2)
+        env.machine.add_host_task("stress", pinned=(0,))
+
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        env.kernel.spawn(spin, "t", cpu=0, allowed=(0,))
+        env.engine.run_until(1 * SEC)
+        assert env.kernel.steal_of(0) > 400 * MSEC
+        assert env.kernel.steal_of(1) == 0
+
+    def test_preempt_counter_counts_steal_jumps(self):
+        env = build_plain_vm(2, host_slice_ns=5 * MSEC)
+        env.machine.add_host_task("stress", pinned=(0,))
+
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        env.kernel.spawn(spin, "t", cpu=0, allowed=(0,))
+        env.engine.run_until(1 * SEC)
+        # One qualified jump per 10 ms activity cycle.
+        assert 80 < env.kernel.cpus[0].preempt_count < 120
+
+
+class TestTickDelivery:
+    def test_no_ticks_while_halted(self):
+        env = build_plain_vm(2)
+        env.engine.run_until(1 * SEC)
+        # No tasks ever ran: both vCPUs halted; tick counter stays 0.
+        assert env.kernel.stats.ticks == 0
+
+    def test_ticks_flow_while_running(self):
+        env = build_plain_vm(1)
+
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        env.kernel.spawn(spin, "t")
+        env.engine.run_until(1 * SEC)
+        assert 900 < env.kernel.stats.ticks < 1100
+
+
+class TestWorkConservationInvariants:
+    @given(st.integers(1, 6), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_total_work_equals_cpu_time(self, n_tasks, n_cpus):
+        """With CPU-bound tasks and dedicated vCPUs, total retired work
+        equals min(n_tasks, n_cpus) * wall time (full utilization, no
+        overcommit, no lost work)."""
+        env = build_plain_vm(n_cpus)
+        tasks = []
+
+        def spin(api):
+            while True:
+                yield api.run(500 * USEC)
+
+        for i in range(n_tasks):
+            tasks.append(env.kernel.spawn(spin, f"t{i}"))
+        env.engine.run_until(200 * MSEC)
+        total = sum(t.stats.work_done for t in tasks)
+        expected = min(n_tasks, n_cpus) * 200 * MSEC
+        assert total == pytest.approx(expected, rel=0.02)
+
+    @given(st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_fairness_between_identical_tasks(self, n_tasks):
+        env = build_plain_vm(1)
+        tasks = []
+
+        def spin(api):
+            while True:
+                yield api.run(500 * USEC)
+
+        for i in range(n_tasks):
+            tasks.append(env.kernel.spawn(spin, f"t{i}", cpu=0, allowed=(0,)))
+        env.engine.run_until(2 * SEC)
+        works = [t.stats.work_done for t in tasks]
+        assert max(works) - min(works) < 0.05 * sum(works)

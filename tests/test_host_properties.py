@@ -1,0 +1,104 @@
+"""Property-based tests of host-scheduler invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import HostTopology
+from repro.hypervisor import EntityState, Machine
+from repro.sim import Engine, MSEC, SEC
+
+
+@given(
+    weights=st.lists(st.sampled_from([110, 335, 1024, 3121, 9548]),
+                     min_size=1, max_size=5),
+    slice_ms=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=40, deadline=None)
+def test_cpu_time_conservation_and_weighted_fairness(weights, slice_ms):
+    """Always-runnable entities on one thread: (a) total run time equals
+    wall time, (b) each share is proportional to weight, (c) run + steal
+    equals wall time per entity."""
+    eng = Engine()
+    m = Machine(eng, HostTopology(1, 1, smt=1), host_slice_ns=slice_ms * MSEC)
+    tasks = [m.add_host_task(f"t{i}", weight=w, pinned=(0,))
+             for i, w in enumerate(weights)]
+    horizon = 4 * SEC
+    eng.run_until(horizon)
+    runs = [t.run_ns(eng.now) for t in tasks]
+    assert sum(runs) == pytest.approx(horizon, abs=2 * MSEC)
+    total_w = sum(weights)
+    for w, r, t in zip(weights, runs, tasks):
+        expected = horizon * w / total_w
+        # Weighted fairness within a couple of slices of slack.
+        assert r == pytest.approx(expected, abs=3 * slice_ms * MSEC + 0.02 * horizon)
+        assert r + t.steal_ns(eng.now) == pytest.approx(horizon, abs=2 * MSEC)
+
+
+@given(
+    quota_ms=st.integers(1, 9),
+    period_ms=st.integers(10, 20),
+)
+@settings(max_examples=30, deadline=None)
+def test_bandwidth_throttling_bounds_consumption(quota_ms, period_ms):
+    eng = Engine()
+    m = Machine(eng, HostTopology(1, 1, smt=1))
+    vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+    v = vm.vcpu(0)
+    m.set_bandwidth(v, quota_ns=quota_ms * MSEC, period_ns=period_ms * MSEC)
+    v.kick()
+    horizon = 2 * SEC
+    eng.run_until(horizon)
+    expected = horizon * quota_ms / period_ms
+    assert v.run_ns(eng.now) == pytest.approx(expected, rel=0.05)
+    # Run + steal covers the whole horizon (it always wanted the CPU).
+    assert v.run_ns(eng.now) + v.steal_ns(eng.now) == pytest.approx(
+        horizon, abs=2 * MSEC)
+
+
+@given(n_entities=st.integers(1, 4), n_threads=st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_single_runner_per_thread(n_entities, n_threads):
+    """At any sampled instant, each hardware thread runs at most one entity
+    and every RUNNING entity is some thread's current."""
+    eng = Engine()
+    m = Machine(eng, HostTopology(1, n_threads, smt=1), host_slice_ns=2 * MSEC)
+    tasks = [m.add_host_task(f"t{i}", pinned=(i % n_threads,))
+             for i in range(n_entities)]
+    violations = []
+
+    def check():
+        running = [t for t in tasks if t.state == EntityState.RUNNING]
+        currents = [rq.current for rq in m.runqueues if rq.current is not None]
+        if len(currents) != len(set(id(c) for c in currents)):
+            violations.append("duplicate current")
+        for t in running:
+            if t not in currents:
+                violations.append("running entity not current anywhere")
+        if eng.now < 200 * MSEC:
+            eng.call_in(MSEC, check)
+
+    eng.call_in(MSEC, check)
+    eng.run_until(250 * MSEC)
+    assert not violations
+
+
+def test_steal_never_decreases():
+    eng = Engine()
+    m = Machine(eng, HostTopology(1, 1, smt=1), host_slice_ns=2 * MSEC)
+    a = m.add_host_task("a", pinned=(0,))
+    b = m.add_host_task("b", pinned=(0,))
+    last = [0, 0]
+    bad = []
+
+    def check():
+        for i, t in enumerate((a, b)):
+            s = t.steal_ns(eng.now)
+            if s < last[i]:
+                bad.append((eng.now, i, s, last[i]))
+            last[i] = s
+        if eng.now < 500 * MSEC:
+            eng.call_in(700_000, check)
+
+    eng.call_in(700_000, check)
+    eng.run_until(600 * MSEC)
+    assert not bad

@@ -1,0 +1,95 @@
+"""Unit tests for the hardware model: topology, cache, speed."""
+
+import numpy as np
+import pytest
+
+from repro.hw import CacheModel, Distance, HostTopology, SpeedConfig
+
+
+class TestTopology:
+    def test_shape(self):
+        topo = HostTopology(2, 4, smt=2)
+        assert len(topo.sockets) == 2
+        assert len(topo.cores) == 8
+        assert len(topo.threads) == 16
+
+    def test_thread_indices_are_sequential(self):
+        topo = HostTopology(2, 2, smt=2)
+        assert [t.index for t in topo.threads] == list(range(8))
+
+    def test_sibling(self):
+        topo = HostTopology(1, 2, smt=2)
+        t0, t1, t2, t3 = topo.threads
+        assert t0.sibling() is t1
+        assert t1.sibling() is t0
+        assert t2.sibling() is t3
+
+    def test_sibling_none_without_smt(self):
+        topo = HostTopology(1, 2, smt=1)
+        assert topo.threads[0].sibling() is None
+
+    def test_distance_classes(self):
+        topo = HostTopology(2, 2, smt=2)
+        t = topo.threads
+        assert topo.distance(t[0], t[0]) == Distance.SAME_THREAD
+        assert topo.distance(t[0], t[1]) == Distance.SMT_SIBLING
+        assert topo.distance(t[0], t[2]) == Distance.SAME_SOCKET
+        assert topo.distance(t[0], t[4]) == Distance.CROSS_SOCKET
+
+    def test_distance_ordering(self):
+        assert (Distance.SAME_THREAD < Distance.SMT_SIBLING
+                < Distance.SAME_SOCKET < Distance.CROSS_SOCKET)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            HostTopology(0, 4)
+        with pytest.raises(ValueError):
+            HostTopology(1, 4, smt=3)
+
+
+class TestCacheModel:
+    def test_latency_hierarchy(self):
+        cache = CacheModel()
+        assert (cache.base_latency(Distance.SAME_THREAD)
+                < cache.base_latency(Distance.SMT_SIBLING)
+                < cache.base_latency(Distance.SAME_SOCKET)
+                < cache.base_latency(Distance.CROSS_SOCKET))
+
+    def test_sample_is_near_base(self):
+        cache = CacheModel()
+        rng = np.random.default_rng(0)
+        samples = [cache.sample_latency(Distance.SAME_SOCKET, rng)
+                   for _ in range(200)]
+        assert all(30 < s < 70 for s in samples)
+        assert abs(np.mean(samples) - cache.same_socket_ns) < 3
+
+    def test_no_jitter(self):
+        cache = CacheModel(jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert cache.sample_latency(Distance.SMT_SIBLING, rng) == 6.0
+
+    def test_stall_scales_with_lines(self):
+        cache = CacheModel()
+        one = cache.stall_cycles(Distance.CROSS_SOCKET, lines=1)
+        many = cache.stall_cycles(Distance.CROSS_SOCKET, lines=10)
+        assert many == 10 * one
+
+
+class TestSpeedConfig:
+    def test_nominal(self):
+        cfg = SpeedConfig()
+        assert cfg.factor(sibling_busy=False, warm=True) == 1.0
+
+    def test_smt_contention(self):
+        cfg = SpeedConfig()
+        assert cfg.factor(sibling_busy=True, warm=True) == pytest.approx(0.62)
+
+    def test_dvfs_cold_only_when_enabled(self):
+        cfg = SpeedConfig(dvfs_enabled=False)
+        assert cfg.factor(False, warm=False) == 1.0
+        cfg = SpeedConfig(dvfs_enabled=True)
+        assert cfg.factor(False, warm=False) == pytest.approx(0.85)
+
+    def test_combined_effects(self):
+        cfg = SpeedConfig(dvfs_enabled=True)
+        assert cfg.factor(True, False) == pytest.approx(0.62 * 0.85)

@@ -1,0 +1,231 @@
+"""Unit and integration tests for the hypervisor layer."""
+
+import pytest
+
+from repro.hw import HostTopology
+from repro.hypervisor import (
+    EntityState,
+    HostTask,
+    Machine,
+    NICE0_WEIGHT,
+    weight_for_nice,
+)
+from repro.sim import Engine, MSEC, SEC, USEC
+
+
+def make_machine(sockets=1, cores=4, smt=1, **kw):
+    eng = Engine()
+    return eng, Machine(eng, HostTopology(sockets, cores, smt=smt), **kw)
+
+
+class TestWeights:
+    def test_nice0(self):
+        assert weight_for_nice(0) == 1024
+
+    def test_table_values(self):
+        assert weight_for_nice(-10) == 9548
+        assert weight_for_nice(19) == 15
+
+    def test_monotonic(self):
+        weights = [weight_for_nice(n) for n in range(-20, 20)]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestFairSharing:
+    def test_two_equal_tasks_share_evenly(self):
+        eng, m = make_machine()
+        a = m.add_host_task("a", pinned=(0,))
+        b = m.add_host_task("b", pinned=(0,))
+        eng.run_until(2 * SEC)
+        assert abs(a.run_ns(eng.now) - b.run_ns(eng.now)) < 20 * MSEC
+        total = a.run_ns(eng.now) + b.run_ns(eng.now)
+        assert abs(total - 2 * SEC) < MSEC
+
+    def test_weighted_sharing(self):
+        eng, m = make_machine()
+        hi = m.add_host_task("hi", weight=weight_for_nice(-10), pinned=(0,))
+        lo = m.add_host_task("lo", pinned=(0,))
+        eng.run_until(4 * SEC)
+        share = lo.run_ns(eng.now) / (4 * SEC)
+        expected = 1024 / (1024 + 9548)
+        assert abs(share - expected) < 0.03
+
+    def test_three_way_split(self):
+        eng, m = make_machine()
+        tasks = [m.add_host_task(f"t{i}", pinned=(0,)) for i in range(3)]
+        eng.run_until(3 * SEC)
+        for t in tasks:
+            assert abs(t.run_ns(eng.now) - SEC) < 30 * MSEC
+
+    def test_tasks_on_different_threads_do_not_interact(self):
+        eng, m = make_machine()
+        a = m.add_host_task("a", pinned=(0,))
+        b = m.add_host_task("b", pinned=(1,))
+        eng.run_until(SEC)
+        assert a.run_ns(eng.now) == pytest.approx(SEC, abs=MSEC)
+        assert b.run_ns(eng.now) == pytest.approx(SEC, abs=MSEC)
+
+
+class TestBandwidthControl:
+    def test_quota_caps_consumption(self):
+        eng, m = make_machine()
+        vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+        v = vm.vcpu(0)
+        m.set_bandwidth(v, quota_ns=3 * MSEC, period_ns=10 * MSEC)
+        v.kick()
+        eng.run_until(1 * SEC)
+        assert abs(v.run_ns(eng.now) - 300 * MSEC) < 15 * MSEC
+
+    def test_steal_accrues_while_throttled(self):
+        eng, m = make_machine()
+        vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+        v = vm.vcpu(0)
+        m.set_bandwidth(v, quota_ns=5 * MSEC, period_ns=10 * MSEC)
+        v.kick()
+        eng.run_until(1 * SEC)
+        assert abs(v.steal_ns(eng.now) - 500 * MSEC) < 15 * MSEC
+
+    def test_no_steal_when_blocked(self):
+        eng, m = make_machine()
+        vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+        v = vm.vcpu(0)
+        m.set_bandwidth(v, quota_ns=5 * MSEC, period_ns=10 * MSEC)
+        eng.run_until(1 * SEC)  # never kicked: blocked, wants nothing
+        assert v.steal_ns(eng.now) == 0
+        assert v.run_ns(eng.now) == 0
+
+    def test_quota_change_takes_effect(self):
+        eng, m = make_machine()
+        vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+        v = vm.vcpu(0)
+        m.set_bandwidth(v, quota_ns=2 * MSEC, period_ns=10 * MSEC)
+        v.kick()
+        eng.run_until(1 * SEC)
+        r1 = v.run_ns(eng.now)
+        m.set_bandwidth(v, quota_ns=8 * MSEC, period_ns=10 * MSEC)
+        eng.run_until(2 * SEC)
+        r2 = v.run_ns(eng.now) - r1
+        assert abs(r1 - 200 * MSEC) < 20 * MSEC
+        assert abs(r2 - 800 * MSEC) < 30 * MSEC
+
+    def test_invalid_bandwidth_rejected(self):
+        eng, m = make_machine()
+        vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+        with pytest.raises(ValueError):
+            m.set_bandwidth(vm.vcpu(0), quota_ns=11 * MSEC, period_ns=10 * MSEC)
+
+
+class TestStealAccounting:
+    def test_contention_splits_run_and_steal(self):
+        eng, m = make_machine()
+        m.add_host_task("stress", pinned=(0,))
+        vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+        v = vm.vcpu(0)
+        v.kick()
+        eng.run_until(2 * SEC)
+        assert abs(v.run_ns(eng.now) - SEC) < 30 * MSEC
+        assert abs(v.steal_ns(eng.now) - SEC) < 30 * MSEC
+
+    def test_slice_controls_inactive_period(self):
+        # With an 8 ms slice the vCPU alternates 8 ms on / 8 ms off.
+        eng, m = make_machine(host_slice_ns=8 * MSEC)
+        m.add_host_task("stress", pinned=(0,))
+        vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+        v = vm.vcpu(0)
+        v.kick()
+        eng.run_until(2 * SEC)
+        # ~125 preemption resumes over 2 s (one per 16 ms cycle)
+        assert 100 < v.preemption_resumes < 160
+
+
+class TestSmtSpeed:
+    def test_sibling_contention_slows_execution(self):
+        eng, m = make_machine(cores=1, smt=2)
+        vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+        v = vm.vcpu(0)
+
+        class Ctx:
+            rate = None
+
+            def host_resumed(self, now, rate):
+                Ctx.rate = rate
+
+            def host_preempted(self, now):
+                pass
+
+            def host_rate_changed(self, now, rate):
+                Ctx.rate = rate
+
+        v.guest_cpu = Ctx()
+        v.kick()
+        eng.run_until(MSEC)
+        assert Ctx.rate == 1.0
+        m.add_host_task("sib", pinned=(1,))
+        eng.run_until(2 * MSEC)
+        assert Ctx.rate == pytest.approx(0.62)
+
+
+class TestDutyCycle:
+    def test_duty_task_runs_half_time(self):
+        eng, m = make_machine()
+        t = m.add_host_task("duty", pinned=(0,), duty_on_ns=5 * MSEC,
+                            duty_off_ns=5 * MSEC)
+        eng.run_until(1 * SEC)
+        assert abs(t.run_ns(eng.now) - 500 * MSEC) < 20 * MSEC
+
+
+class TestRepin:
+    def test_repin_moves_running_entity(self):
+        eng, m = make_machine()
+        vm = m.new_vm("vm", 1, pinned_map=[(0,)])
+        v = vm.vcpu(0)
+        v.kick()
+        eng.run_until(10 * MSEC)
+        assert v.last_thread.index == 0
+        m.repin(v, (2,))
+        eng.run_until(20 * MSEC)
+        assert v.last_thread.index == 2
+        assert v.state == EntityState.RUNNING
+
+    def test_repin_stacks_two_vcpus(self):
+        eng, m = make_machine()
+        vm = m.new_vm("vm", 2, pinned_map=[(0,), (1,)])
+        for v in vm.vcpus:
+            v.kick()
+        eng.run_until(10 * MSEC)
+        m.repin(vm.vcpu(1), (0,))
+        eng.run_until(1 * SEC)
+        # Both now share thread 0.
+        r0 = vm.vcpu(0).run_ns(eng.now)
+        r1 = vm.vcpu(1).run_ns(eng.now)
+        assert abs(r0 - r1) < 60 * MSEC
+
+
+class TestVmShutdown:
+    def test_shutdown_stops_execution(self):
+        eng, m = make_machine()
+        vm = m.new_vm("vm", 2, pinned_map=[(0,), (1,)])
+        for v in vm.vcpus:
+            v.kick()
+        eng.run_until(100 * MSEC)
+        r_before = vm.total_run_ns()
+        vm.shutdown()
+        vm.vcpu(0).kick()  # ignored: offline
+        eng.run_until(SEC)
+        assert vm.total_run_ns() == pytest.approx(r_before, abs=MSEC)
+
+
+class TestUnpinnedPlacement:
+    def test_unpinned_tasks_spread_over_threads(self):
+        eng, m = make_machine(cores=4)
+        tasks = [m.add_host_task(f"t{i}") for i in range(4)]
+        eng.run_until(1 * SEC)
+        for t in tasks:
+            assert t.run_ns(eng.now) > 900 * MSEC
+
+    def test_host_balance_fills_idle_threads(self):
+        eng, m = make_machine(cores=2)
+        tasks = [m.add_host_task(f"t{i}") for i in range(4)]
+        eng.run_until(2 * SEC)
+        total = sum(t.run_ns(eng.now) for t in tasks)
+        assert total == pytest.approx(4 * SEC, rel=0.05)

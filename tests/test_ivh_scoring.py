@@ -1,0 +1,142 @@
+"""Unit tests of ivh's prediction and target-scoring logic (Figure 9)."""
+
+import pytest
+
+from repro.cluster import build_plain_vm
+from repro.core.ivh import IntraVmHarvesting
+from repro.core.module import VSchedModule
+from repro.guest import Policy
+from repro.sim import MSEC, SEC, USEC
+
+
+def make_env(n=4):
+    env = build_plain_vm(n)
+    module = VSchedModule(env.kernel)
+    ivh = IntraVmHarvesting(env.kernel, module)
+    return env, module, ivh
+
+
+def set_entry(module, cpu, capacity=1024.0, latency_ms=5.0, active_ms=5.0):
+    e = module.store[cpu]
+    e.ema_capacity.value = capacity
+    e.latency_ns = latency_ms * MSEC
+    e.avg_active_ns = active_ms * MSEC
+
+
+def occupy(env, cpu, policy=Policy.NORMAL):
+    def body(api):
+        while True:
+            yield api.run(300 * USEC)
+
+    return env.kernel.spawn(body, f"occ{cpu}", policy=policy, cpu=cpu,
+                            allowed=(cpu,))
+
+
+class TestSoonInactive:
+    def test_fresh_activity_not_soon(self):
+        env, module, ivh = make_env()
+        set_entry(module, 0, active_ms=6.0)
+        occupy(env, 0)
+        env.engine.run_until(20 * MSEC)
+        cpu = env.kernel.cpus[0]
+        cpu.active_since_est = env.engine.now - MSEC  # 5 ms remaining
+        assert not ivh._soon_inactive(cpu, module.store[0], env.engine.now)
+
+    def test_tail_of_window_is_soon(self):
+        env, module, ivh = make_env()
+        set_entry(module, 0, active_ms=6.0)
+        occupy(env, 0)
+        env.engine.run_until(20 * MSEC)
+        cpu = env.kernel.cpus[0]
+        cpu.active_since_est = env.engine.now - 5 * MSEC  # 1 ms remaining
+        assert ivh._soon_inactive(cpu, module.store[0], env.engine.now)
+
+    def test_no_activity_data_means_no_prediction(self):
+        env, module, ivh = make_env()
+        module.store[0].avg_active_ns = 0.0
+        occupy(env, 0)
+        env.engine.run_until(20 * MSEC)
+        cpu = env.kernel.cpus[0]
+        assert not ivh._soon_inactive(cpu, module.store[0], env.engine.now)
+
+
+class TestTargetScore:
+    def test_halted_vcpu_scored_by_banked_idle_credit(self):
+        env, module, ivh = make_env()
+        set_entry(module, 1, active_ms=6.0)
+        env.engine.run_until(20 * MSEC)
+        cpu1 = env.kernel.cpus[1]
+        cpu1.idle_since = env.engine.now - 4 * MSEC
+        score = ivh._target_score(1, cpu1, env.engine.now)
+        assert score is not None
+        assert score[0] == pytest.approx(4 * MSEC)
+
+    def test_freshly_idled_vcpu_rejected(self):
+        env, module, ivh = make_env()
+        set_entry(module, 1, active_ms=6.0)
+        env.engine.run_until(20 * MSEC)
+        cpu1 = env.kernel.cpus[1]
+        cpu1.idle_since = env.engine.now - 200 * USEC  # < MIN_USEFUL
+        assert ivh._target_score(1, cpu1, env.engine.now) is None
+
+    def test_busy_normal_vcpu_is_not_a_target(self):
+        env, module, ivh = make_env()
+        set_entry(module, 1, active_ms=6.0)
+        occupy(env, 1)
+        env.engine.run_until(20 * MSEC)
+        cpu1 = env.kernel.cpus[1]
+        assert ivh._target_score(1, cpu1, env.engine.now) is None
+
+    def test_sched_idle_vcpu_active_scored_with_discount(self):
+        env, module, ivh = make_env()
+        set_entry(module, 1, active_ms=6.0)
+        occupy(env, 1, policy=Policy.IDLE)
+        env.engine.run_until(20 * MSEC)
+        cpu1 = env.kernel.cpus[1]
+        env.kernel.cpus[1].last_heartbeat = env.engine.now
+        cpu1.active_since_est = env.engine.now - MSEC  # 5 ms remaining
+        score = ivh._target_score(1, cpu1, env.engine.now)
+        assert score is not None
+        assert score[0] == pytest.approx(5 * MSEC * 0.6, rel=0.05)
+
+    def test_stale_active_estimate_clamped_not_rejected(self):
+        env, module, ivh = make_env()
+        set_entry(module, 1, active_ms=6.0)
+        occupy(env, 1, policy=Policy.IDLE)
+        env.engine.run_until(50 * MSEC)
+        cpu1 = env.kernel.cpus[1]
+        env.kernel.cpus[1].last_heartbeat = env.engine.now
+        cpu1.active_since_est = env.engine.now - 100 * MSEC  # ancient
+        score = ivh._target_score(1, cpu1, env.engine.now)
+        assert score is not None
+        assert score[0] == pytest.approx(6 * MSEC * 0.5 * 0.6, rel=0.05)
+
+
+class TestLoadGateAndBackoff:
+    def test_loaded_system_disables_harvesting(self):
+        env, module, ivh = make_env(4)
+        for c in range(4):
+            set_entry(module, c)
+            occupy(env, c)
+        env.engine.run_until(20 * MSEC)
+        assert ivh._system_loaded()
+
+    def test_underloaded_system_enables_harvesting(self):
+        env, module, ivh = make_env(4)
+        for c in range(4):
+            set_entry(module, c)
+        occupy(env, 0)
+        env.engine.run_until(20 * MSEC)
+        assert not ivh._system_loaded()
+
+    def test_success_ema_drifts_back_optimistic(self):
+        env, module, ivh = make_env(2)
+        set_entry(module, 0)
+        occupy(env, 0)
+        env.engine.run_until(10 * MSEC)
+        ivh._success_ema = 0.1
+        ivh._ema_touch = env.engine.now
+        env.engine.run_until(env.engine.now + 8 * SEC)
+        # Two half-lives of drift toward 0.85.
+        ivh(env.kernel.cpus[0], env.engine.now)
+        assert ivh._success_ema > 0.5

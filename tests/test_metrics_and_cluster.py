@@ -1,0 +1,124 @@
+"""Tests for metrics helpers, VM-type builders, and scenario utilities."""
+
+import pytest
+
+from repro.cluster import (
+    HCLL,
+    LCHL,
+    MODES,
+    attach_scheduler,
+    build_hpvm,
+    build_plain_vm,
+    build_rcvm,
+    make_context,
+    overcommit_with_stress,
+    run_to_completion,
+)
+from repro.metrics import CycleMeter, normalize, p50, p95
+from repro.sim import MSEC, SEC
+from repro.workloads import CpuBoundJob
+
+
+class TestMeasures:
+    def test_percentiles(self):
+        values = list(range(1, 101))
+        assert p50(values) == pytest.approx(50.5)
+        assert p95(values) == pytest.approx(95.05)
+
+    def test_percentiles_empty(self):
+        import math
+        assert math.isnan(p95([]))
+
+    def test_normalize(self):
+        assert normalize([50, 100, 200], 100) == [50.0, 100.0, 200.0]
+        assert all(v != v for v in normalize([1.0], 0))  # NaN on zero base
+
+    def test_cycle_meter(self):
+        env = build_plain_vm(2)
+        vs = attach_scheduler(env, "cfs")
+        ctx = make_context(env, vs, "cm")
+        meter = CycleMeter(env)
+        meter.start()
+        wl = CpuBoundJob(threads=2, work_per_thread_ns=100 * MSEC)
+        run_to_completion(env, [wl], ctx)
+        sample = meter.sample()
+        # Two dedicated vCPUs fully busy for ~100 ms each.
+        assert sample.cycles == pytest.approx(200 * MSEC, rel=0.05)
+        assert sample.work_ns == pytest.approx(200 * MSEC, rel=0.05)
+        # run_to_completion polls in 250 ms steps, so the wall window is at
+        # least the job's 100 ms; CPS is bounded by full 2-vCPU utilization.
+        assert 0 < sample.cps <= 2 * SEC * 1.05
+        assert 0.9 < sample.ipc_proxy <= 1.0
+
+
+class TestVmClasses:
+    def test_quota_period_math(self):
+        quota, period = HCLL.quota_period()
+        assert quota / period == pytest.approx(0.66, abs=0.01)
+        assert period - quota == HCLL.latency_ns
+        quota, period = LCHL.quota_period()
+        assert quota / period == pytest.approx(0.33, abs=0.01)
+
+    def test_rcvm_shape(self):
+        env = build_rcvm()
+        assert env.n_vcpus == 12
+        assert env.stacked_pairs == [(10, 11)]
+        assert env.straggler_vcpus == [8, 9]
+        # Stacked pair shares one hardware thread.
+        assert env.vm.vcpu(10).pinned == env.vm.vcpu(11).pinned
+        # Straggler vCPUs face a massive co-runner once it starts.
+        env.engine.run_until(100 * MSEC)
+        tenants = {t.pinned[0]: t for t in env.machine.host_tasks}
+        assert tenants[8].weight > 10 * 1024
+
+    def test_hpvm_shape(self):
+        env = build_hpvm()
+        assert env.n_vcpus == 32
+        # Last group (24-31) is dedicated: no co-runner on its threads.
+        env.engine.run_until(100 * MSEC)
+        contended = {t.pinned[0] for t in env.machine.host_tasks}
+        assert not (contended & set(range(24, 32)))
+        assert set(range(0, 8)) <= contended
+        # Four sockets of 8 vCPUs.
+        sockets = {env.vm.vcpu(i).pinned[0] // 8 for i in range(8)}
+        assert sockets == {0}
+
+    def test_rcvm_capacity_classes_probed(self):
+        env = build_rcvm()
+        vs = attach_scheduler(env, "enhanced")
+        env.engine.run_until(14 * SEC)
+        st = vs.module.store
+        # hcll (vCPU0) has roughly double the capacity of lcll (vCPU2).
+        assert st[0].capacity > 1.5 * st[2].capacity
+        # hcll has noticeably lower latency than hchl (vCPU1).
+        assert st[0].latency_ns < 0.6 * st[1].latency_ns
+        # Stragglers are far below the median.
+        assert st[8].capacity < 0.35 * st.median_capacity()
+
+
+class TestScenarioHelpers:
+    def test_modes_list(self):
+        assert MODES == ("cfs", "enhanced", "vsched")
+
+    def test_attach_scheduler_rejects_unknown(self):
+        env = build_plain_vm(2)
+        with pytest.raises(ValueError):
+            attach_scheduler(env, "bogus")
+
+    def test_overcommit_with_stress_halves_capacity(self):
+        env = build_plain_vm(2)
+        overcommit_with_stress(env, slice_ns=5 * MSEC)
+        vs = attach_scheduler(env, "cfs")
+        ctx = make_context(env, vs, "oc")
+        wl = CpuBoundJob(threads=2, work_per_thread_ns=100 * MSEC)
+        run_to_completion(env, [wl], ctx)
+        # ~50% capacity: the job takes about twice its work.
+        assert wl.elapsed_ns() == pytest.approx(200 * MSEC, rel=0.15)
+
+    def test_run_to_completion_timeout(self):
+        env = build_plain_vm(1)
+        vs = attach_scheduler(env, "cfs")
+        ctx = make_context(env, vs, "to")
+        wl = CpuBoundJob(threads=1, work_per_thread_ns=10 * SEC)
+        with pytest.raises(TimeoutError):
+            run_to_completion(env, [wl], ctx, timeout_ns=100 * MSEC)

@@ -1,0 +1,90 @@
+"""Unit tests for the overall-figure helpers and workload registry params."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import Table
+from repro.experiments.overall import check_overall, geometric_means
+from repro.workloads import build_workload
+from repro.workloads.parsec import (
+    BarrierWorkload,
+    DataParallelWorkload,
+    LockWorkload,
+    PipelineWorkload,
+    build_parsec,
+)
+
+
+def make_table(rows):
+    t = Table("x", "t", ["benchmark", "kind", "CFS_pct", "enhanced_pct",
+                         "vsched_pct"])
+    for r in rows:
+        t.add(*r)
+    return t
+
+
+class TestGeometricMeans:
+    def test_geomean_math(self):
+        t = make_table([
+            ("a", "throughput", 100.0, 100.0, 400.0),
+            ("b", "throughput", 100.0, 100.0, 100.0),
+            ("c", "latency", 100.0, 200.0, 200.0),
+        ])
+        means = geometric_means(t)
+        assert means["throughput"]["vsched"] == pytest.approx(200.0)
+        assert means["throughput"]["enhanced"] == pytest.approx(100.0)
+        assert means["latency"]["enhanced"] == pytest.approx(200.0)
+
+    def test_check_overall_passes_good_shape(self):
+        t = make_table([
+            ("a", "throughput", 100.0, 130.0, 150.0),
+            ("b", "latency", 100.0, 110.0, 160.0),
+        ])
+        check_overall(t, min_enhanced=110.0, min_vsched=120.0,
+                      latency_min_vsched=120.0)
+
+    def test_check_overall_rejects_regression(self):
+        t = make_table([
+            ("a", "throughput", 100.0, 130.0, 60.0),  # catastrophic row
+            ("b", "latency", 100.0, 110.0, 160.0),
+        ])
+        with pytest.raises(AssertionError):
+            check_overall(t, min_enhanced=50.0, min_vsched=50.0,
+                          latency_min_vsched=50.0)
+
+
+class TestRegistryParameters:
+    def test_scale_shrinks_barrier_phases(self):
+        big = build_parsec("bodytrack", threads=4, scale=1.0)
+        small = build_parsec("bodytrack", threads=4, scale=0.1)
+        assert isinstance(big, BarrierWorkload)
+        assert small.phases < big.phases
+        assert small.phase_work_ns == big.phase_work_ns  # granularity kept
+
+    def test_scale_shrinks_chunks_not_chunk_size(self):
+        big = build_parsec("swaptions", threads=4, scale=1.0)
+        small = build_parsec("swaptions", threads=4, scale=0.1)
+        assert isinstance(big, DataParallelWorkload)
+        assert small.chunks < big.chunks
+        assert small.chunk_work_ns == big.chunk_work_ns
+
+    def test_sync_intensity_orders_granularity(self):
+        coarse = build_parsec("facesim", threads=4, scale=1.0)     # 0.6
+        fine = build_parsec("streamcluster", threads=4, scale=1.0)  # 2.2
+        assert fine.phase_work_ns < coarse.phase_work_ns
+
+    def test_threads_scale_worker_pools(self):
+        wl4 = build_workload("dedup", threads=4, scale=0.1)
+        wl8 = build_workload("dedup", threads=8, scale=0.1)
+        assert isinstance(wl4, PipelineWorkload)
+        assert wl8.threads > wl4.threads
+
+    def test_lock_family_params(self):
+        wl = build_parsec("fluidanimate", threads=4, scale=0.5)
+        assert isinstance(wl, LockWorkload)
+        assert wl.cs_work_ns < wl.outside_work_ns
+
+    def test_latency_request_count_param(self):
+        wl = build_workload("silo", threads=4, n_requests=77)
+        assert wl.n_requests == 77

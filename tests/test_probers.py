@@ -1,0 +1,220 @@
+"""Tests for the vProbers: vcap, vact, vtop."""
+
+import math
+
+import pytest
+
+from repro.cluster import build_plain_vm
+from repro.core.module import VSchedModule
+from repro.guest import GuestKernel
+from repro.guest.kernel import VCpuHostState
+from repro.hw import HostTopology
+from repro.hypervisor import Machine
+from repro.probers import PairProbe, VAct, VCap, VTop, classify
+from repro.probers.vtop import CLS_CROSS, CLS_SMT, CLS_SOCKET, CLS_STACK
+from repro.sim import Engine, MSEC, SEC, make_rng
+
+
+def probed_env(n=4, **kw):
+    env = build_plain_vm(n, **kw)
+    module = VSchedModule(env.kernel)
+    vact = VAct(env.kernel, module)
+    vcap = VCap(env.kernel, module, vact=vact)
+    return env, module, vcap, vact
+
+
+class TestVCap:
+    def test_dedicated_vcpu_probes_full_capacity(self):
+        env, module, vcap, _ = probed_env(2)
+        vcap.start()
+        env.engine.run_until(12 * SEC)
+        assert module.store[0].capacity > 980
+        assert module.store[1].capacity > 980
+
+    def test_bandwidth_limited_capacity(self):
+        env, module, vcap, _ = probed_env(2)
+        env.machine.set_bandwidth(env.vm.vcpu(0), quota_ns=3 * MSEC,
+                                  period_ns=10 * MSEC)
+        vcap.start()
+        env.engine.run_until(15 * SEC)
+        assert abs(module.store[0].capacity - 0.3 * 1024) < 60
+        assert module.store[1].capacity > 980
+
+    def test_contention_limited_capacity(self):
+        env, module, vcap, _ = probed_env(2)
+        env.machine.add_host_task("stress", pinned=(0,))
+        vcap.start()
+        env.engine.run_until(15 * SEC)
+        assert abs(module.store[0].capacity - 512) < 80
+
+    def test_heavy_sampling_measures_core_capacity_under_smt(self):
+        env, module, vcap, _ = probed_env(2, smt=2, cores_per_socket=1)
+        # Sibling hardware thread busy: core speed factor 0.62.
+        env.machine.add_host_task("sib", pinned=(1,))
+        vcap.start()
+        env.engine.run_until(15 * SEC)
+        assert abs(module.store[0].core_capacity - 0.62 * 1024) < 80
+
+    def test_sampling_stops_cleanly(self):
+        env, module, vcap, _ = probed_env(2)
+        vcap.start()
+        env.engine.run_until(3 * SEC)
+        vcap.stop()
+        n = vcap.windows_completed
+        env.engine.run_until(6 * SEC)
+        assert vcap.windows_completed <= n + 1
+
+
+class TestVAct:
+    def test_latency_matches_inactive_period(self):
+        env, module, vcap, _ = probed_env(2)
+        env.machine.set_bandwidth(env.vm.vcpu(0), quota_ns=4 * MSEC,
+                                  period_ns=8 * MSEC)
+        vcap.start()
+        env.engine.run_until(10 * SEC)
+        assert 2.5 * MSEC < module.store[0].latency_ns < 6 * MSEC
+        assert module.store[1].latency_ns < 0.5 * MSEC
+
+    def test_latency_cv_low_for_periodic_pattern(self):
+        env, module, vcap, _ = probed_env(1)
+        env.machine.set_bandwidth(env.vm.vcpu(0), quota_ns=4 * MSEC,
+                                  period_ns=8 * MSEC)
+        vcap.start()
+        env.engine.run_until(10 * SEC)
+        assert module.store[0].latency_cv < 0.4
+
+    def test_state_query_tracks_activity(self):
+        env = build_plain_vm(1)
+        k = env.kernel
+
+        def spin(api):
+            while True:
+                yield api.run(500_000)
+
+        k.spawn(spin, "spin", cpu=0)
+        env.engine.run_until(50 * MSEC)
+        state, _ = k.vcpu_state(0)
+        assert state == VCpuHostState.ACTIVE
+        # Preempt the vCPU for a long time: heartbeat goes stale.
+        from repro.hypervisor.entity import weight_for_nice
+        env.machine.add_host_task("hog", weight=weight_for_nice(-20),
+                                  pinned=(0,))
+        env.engine.run_until(120 * MSEC)
+        state, _ = k.vcpu_state(0)
+        assert state == VCpuHostState.INACTIVE
+
+
+class TestVTopClassify:
+    def test_thresholds(self):
+        assert classify(6.0) == CLS_SMT
+        assert classify(48.0) == CLS_SOCKET
+        assert classify(112.0) == CLS_CROSS
+        assert classify(math.inf) == CLS_STACK
+
+
+class TestPairProbe:
+    def _machine(self):
+        eng = Engine()
+        m = Machine(eng, HostTopology(2, 2, smt=2))  # 8 threads
+        return eng, m
+
+    def _probe(self, eng, kernel, a, b, **kw):
+        results = []
+        probe = PairProbe(kernel, kernel.root_group, a, b, make_rng("pp"),
+                          on_done=lambda p: results.append(p), **kw)
+        probe.start()
+        eng.run_until(eng.now + 10 * SEC)
+        assert results, "probe did not finish"
+        return results[0]
+
+    def test_smt_pair(self):
+        eng, m = self._machine()
+        vm = m.new_vm("vm", 2, pinned_map=[(0,), (1,)])
+        k = GuestKernel(vm)
+        p = self._probe(eng, k, 0, 1)
+        assert classify(p.result_latency_ns) == CLS_SMT
+
+    def test_cross_socket_pair(self):
+        eng, m = self._machine()
+        vm = m.new_vm("vm", 2, pinned_map=[(0,), (4,)])
+        k = GuestKernel(vm)
+        p = self._probe(eng, k, 0, 1)
+        assert classify(p.result_latency_ns) == CLS_CROSS
+
+    def test_stacked_pair_times_out_to_infinity(self):
+        eng, m = self._machine()
+        vm = m.new_vm("vm", 2, pinned_map=[(0,), (0,)])
+        k = GuestKernel(vm)
+        p = self._probe(eng, k, 0, 1)
+        assert math.isinf(p.result_latency_ns)
+        assert p.extensions == p.max_extensions
+
+    def test_interference_does_not_cause_stack_misjudgement(self):
+        # Both vCPUs heavily contended: overlap is rare, but the timeout
+        # extension must still find enough transfers (§3.1).
+        eng, m = self._machine()
+        # Same socket, different cores (threads 0 and 2), each contended.
+        m.add_host_task("s0", pinned=(0,))
+        m.add_host_task("s1", pinned=(2,))
+        vm = m.new_vm("vm", 2, pinned_map=[(0,), (2,)])
+        k = GuestKernel(vm)
+        p = self._probe(eng, k, 0, 1)
+        assert not math.isinf(p.result_latency_ns)
+        assert classify(p.result_latency_ns) == CLS_SOCKET
+
+
+class TestVTopFull:
+    def test_discovers_smt_socket_and_stack(self):
+        eng = Engine()
+        m = Machine(eng, HostTopology(2, 4, smt=2))
+        pins = [(0,), (1,), (2,), (3,), (8,), (9,), (10,), (10,)]
+        vm = m.new_vm("vm", 8, pinned_map=pins)
+        k = GuestKernel(vm)
+        module = VSchedModule(k)
+        vtop = VTop(k, module, make_rng("t"))
+        done = {}
+        vtop.probe_full(lambda v: done.update(v=v))
+        eng.run_until(30 * SEC)
+        view = done["v"]
+        assert sorted(view.smt_siblings[0]) == [0, 1]
+        assert sorted(view.smt_siblings[4]) == [4, 5]
+        assert [sorted(g) for g in view.stack_groups] == [[6, 7]]
+        socks = sorted({tuple(sorted(s)) for s in view.socket_siblings.values()})
+        assert socks == [(0, 1, 2, 3), (4, 5, 6, 7)]
+        # The probed topology is installed into the scheduler domains.
+        assert k.domains.has_smt_level()
+
+    def test_validation_confirms_and_is_faster(self):
+        eng = Engine()
+        m = Machine(eng, HostTopology(2, 4, smt=2))
+        pins = [(0,), (1,), (2,), (3,), (8,), (9,), (10,), (11,)]
+        vm = m.new_vm("vm", 8, pinned_map=pins)
+        k = GuestKernel(vm)
+        module = VSchedModule(k)
+        vtop = VTop(k, module, make_rng("t2"))
+        vtop.probe_full()
+        eng.run_until(30 * SEC)
+        full = vtop.last_full_ns
+        vtop.validate()
+        eng.run_until(eng.now + 30 * SEC)
+        assert vtop.validations == 1
+        assert vtop.last_validate_ns < full
+
+    def test_validation_detects_topology_change(self):
+        eng = Engine()
+        m = Machine(eng, HostTopology(2, 4, smt=2))
+        pins = [(0,), (1,), (2,), (3,)]
+        vm = m.new_vm("vm", 4, pinned_map=pins)
+        k = GuestKernel(vm)
+        module = VSchedModule(k)
+        vtop = VTop(k, module, make_rng("t3"))
+        vtop.probe_full()
+        eng.run_until(30 * SEC)
+        assert sorted(vtop.view.smt_siblings[2]) == [2, 3]
+        # Move vCPU3 to the other socket; validation must re-probe.
+        m.repin(vm.vcpu(3), (8,))
+        vtop.validate()
+        eng.run_until(eng.now + 60 * SEC)
+        assert vtop.full_probes == 2
+        socks = {tuple(sorted(s)) for s in vtop.view.socket_siblings.values()}
+        assert (0, 1, 2) in socks and (3,) in socks

@@ -1,0 +1,125 @@
+"""Unit tests for the event engine."""
+
+import pytest
+
+from repro.sim import Engine, MSEC, SEC, USEC
+
+
+def test_time_constants():
+    assert USEC == 1_000
+    assert MSEC == 1_000_000
+    assert SEC == 1_000_000_000
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.call_in(30, lambda: fired.append("c"))
+    eng.call_in(10, lambda: fired.append("a"))
+    eng.call_in(20, lambda: fired.append("b"))
+    eng.run_until(100)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    eng = Engine()
+    fired = []
+    for label in "abcde":
+        eng.call_in(50, lambda l=label: fired.append(l))
+    eng.run_until(50)
+    assert fired == list("abcde")
+
+
+def test_run_until_advances_clock_even_without_events():
+    eng = Engine()
+    eng.run_until(123456)
+    assert eng.now == 123456
+
+
+def test_run_until_does_not_fire_future_events():
+    eng = Engine()
+    fired = []
+    eng.call_in(200, lambda: fired.append(1))
+    eng.run_until(100)
+    assert fired == []
+    eng.run_until(300)
+    assert fired == [1]
+
+
+def test_cancelled_event_does_not_fire():
+    eng = Engine()
+    fired = []
+    ev = eng.call_in(10, lambda: fired.append(1))
+    ev.cancel()
+    eng.run_until(100)
+    assert fired == []
+    assert not ev.active
+
+
+def test_event_callback_args():
+    eng = Engine()
+    got = []
+    eng.call_in(5, lambda a, b: got.append((a, b)), 1, "x")
+    eng.run_until(10)
+    assert got == [(1, "x")]
+
+
+def test_scheduling_in_the_past_raises():
+    eng = Engine()
+    eng.run_until(100)
+    with pytest.raises(ValueError):
+        eng.call_at(50, lambda: None)
+    with pytest.raises(ValueError):
+        eng.call_in(-1, lambda: None)
+
+
+def test_callbacks_can_schedule_more_events():
+    eng = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            eng.call_in(10, chain, n + 1)
+
+    eng.call_in(10, chain, 1)
+    eng.run_until(SEC)
+    assert fired == [1, 2, 3, 4, 5]
+
+
+def test_stop_halts_processing():
+    eng = Engine()
+    fired = []
+    eng.call_in(10, lambda: (fired.append(1), eng.stop()))
+    eng.call_in(20, lambda: fired.append(2))
+    eng.run_until(100)
+    assert fired == [1]
+
+
+def test_pending_counts_uncancelled():
+    eng = Engine()
+    ev1 = eng.call_in(10, lambda: None)
+    eng.call_in(20, lambda: None)
+    ev1.cancel()
+    assert eng.pending() == 1
+
+
+def test_run_drains_queue():
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        eng.call_in(i + 1, lambda i=i: fired.append(i))
+    count = eng.run()
+    assert count == 10
+    assert fired == list(range(10))
+
+
+def test_engine_not_reentrant():
+    eng = Engine()
+
+    def bad():
+        eng.run_until(100)
+
+    eng.call_in(1, bad)
+    with pytest.raises(RuntimeError):
+        eng.run_until(10)

@@ -1,0 +1,231 @@
+"""Edge-case tests for synchronization objects and the interpreter."""
+
+import pytest
+
+from repro.cluster import build_plain_vm
+from repro.guest import Barrier, Channel, Mutex, TaskState
+from repro.sim import MSEC, SEC, USEC
+
+
+class TestChannelEdges:
+    def test_recv_then_send_handoff_bypasses_queue(self):
+        env = build_plain_vm(2)
+        ch = Channel("c")
+        got = []
+
+        def consumer(api):
+            got.append((yield api.recv(ch)))
+
+        def producer(api):
+            yield api.run(5 * MSEC)
+            yield api.send(ch, "x")
+
+        env.kernel.spawn(consumer, "c0")
+        env.kernel.spawn(producer, "p0")
+        env.engine.run_until(100 * MSEC)
+        assert got == ["x"]
+        assert not ch.items  # direct handoff, nothing queued
+
+    def test_multiple_waiting_consumers_fifo(self):
+        env = build_plain_vm(4)
+        ch = Channel("c")
+        order = []
+
+        def consumer(i):
+            def gen(api):
+                yield api.run(i * 100 * USEC)  # stagger arrival at recv
+                v = yield api.recv(ch)
+                order.append((i, v))
+            return gen
+
+        for i in range(3):
+            env.kernel.spawn(consumer(i), f"c{i}")
+        env.engine.run_until(10 * MSEC)
+        for v in ("a", "b", "c"):
+            env.kernel.send_external(ch, v)
+        env.engine.run_until(50 * MSEC)
+        assert sorted(order) == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_send_waiter_promoted_when_slot_frees(self):
+        env = build_plain_vm(2)
+        ch = Channel("c", capacity=1)
+        events = []
+
+        def producer(api):
+            for i in range(3):
+                yield api.send(ch, i)
+                events.append(("sent", i, api.now()))
+
+        def consumer(api):
+            yield api.sleep(10 * MSEC)
+            for _ in range(3):
+                v = yield api.recv(ch)
+                events.append(("got", v, api.now()))
+                yield api.run(MSEC)
+
+        env.kernel.spawn(producer, "p")
+        env.kernel.spawn(consumer, "c")
+        env.engine.run_until(SEC)
+        got = [e for e in events if e[0] == "got"]
+        assert [g[1] for g in got] == [0, 1, 2]
+
+    def test_total_sent_counts_deliveries(self):
+        env = build_plain_vm(2)
+        ch = Channel("c", capacity=8)
+
+        def producer(api):
+            for i in range(5):
+                yield api.send(ch, i)
+
+        env.kernel.spawn(producer, "p")
+        env.engine.run_until(10 * MSEC)
+        assert ch.total_sent == 5
+
+
+class TestMutexEdges:
+    def test_handoff_chain_is_fifo(self):
+        env = build_plain_vm(4)
+        m = Mutex("m")
+        order = []
+
+        def body(i):
+            def gen(api):
+                yield api.run((i + 1) * 100 * USEC)  # stagger lock attempts
+                yield api.lock(m)
+                order.append(i)
+                yield api.run(2 * MSEC)
+                yield api.unlock(m)
+            return gen
+
+        for i in range(4):
+            env.kernel.spawn(body(i), f"t{i}", cpu=i, allowed=(i,))
+        env.engine.run_until(SEC)
+        assert order == [0, 1, 2, 3]
+        assert m.contentions == 3
+
+    def test_spin_and_block_mutexes_both_exclusive(self):
+        for spin in (False, True):
+            env = build_plain_vm(4)
+            m = Mutex("m", spin=spin)
+            inside = [0]
+            max_inside = [0]
+
+            def body(api):
+                for _ in range(10):
+                    yield api.lock(m)
+                    inside[0] += 1
+                    max_inside[0] = max(max_inside[0], inside[0])
+                    yield api.run(200 * USEC)
+                    inside[0] -= 1
+                    yield api.unlock(m)
+                    yield api.run(100 * USEC)
+
+            for i in range(4):
+                env.kernel.spawn(body, f"t{i}")
+            env.engine.run_until(SEC)
+            assert max_inside[0] == 1, f"spin={spin}"
+
+
+class TestBarrierEdges:
+    def test_single_party_barrier_never_blocks(self):
+        env = build_plain_vm(1)
+        b = Barrier(1)
+        laps = []
+
+        def body(api):
+            for i in range(5):
+                yield api.barrier(b)
+                laps.append(i)
+
+        env.kernel.spawn(body, "solo")
+        env.engine.run_until(10 * MSEC)
+        assert laps == [0, 1, 2, 3, 4]
+        assert b.completed == 5
+
+    def test_mixed_spin_and_arrival_order(self):
+        env = build_plain_vm(4)
+        b = Barrier(3, spin=True)
+        passed = []
+
+        def body(i):
+            def gen(api):
+                yield api.run((i + 1) * MSEC)
+                yield api.barrier(b)
+                passed.append((i, api.now()))
+            return gen
+
+        for i in range(3):
+            env.kernel.spawn(body(i), f"t{i}")
+        env.engine.run_until(SEC)
+        assert len(passed) == 3
+        # Spinners burned CPU while waiting (they never slept).
+        t0 = [t for t in env.kernel.tasks if t.name == "t0"][0]
+        assert t0.stats.work_done > 2 * MSEC  # 1ms work + ~2ms spinning
+
+    def test_barrier_with_stalled_member_blocks_all(self):
+        env = build_plain_vm(4)
+        # Make cpu3 effectively dead for a while.
+        env.machine.set_bandwidth(env.vm.vcpu(3), quota_ns=500 * USEC,
+                                  period_ns=50 * MSEC)
+        b = Barrier(4)
+        passed = []
+
+        def body(i):
+            def gen(api):
+                yield api.run(MSEC)
+                yield api.barrier(b)
+                passed.append(api.now())
+            return gen
+
+        for i in range(4):
+            env.kernel.spawn(body(i), f"t{i}", cpu=i, allowed=(i,))
+        env.engine.run_until(40 * MSEC)
+        # Nobody passes until the throttled member arrives.
+        if passed:
+            assert min(passed) > 2 * MSEC
+
+
+class TestInterpreterEdges:
+    def test_yield_cpu_lets_peer_run(self):
+        env = build_plain_vm(1)
+        seen = []
+
+        def polite(api):
+            for i in range(5):
+                seen.append(("p", api.now()))
+                yield api.run(100 * USEC)
+                yield api.yield_cpu()
+
+        def peer(api):
+            yield api.run(3 * MSEC)
+            seen.append(("done", api.now()))
+
+        env.kernel.spawn(polite, "polite", cpu=0, allowed=(0,))
+        env.kernel.spawn(peer, "peer", cpu=0, allowed=(0,))
+        env.engine.run_until(SEC)
+        assert ("done" in [s[0] for s in seen])
+
+    def test_migrate_to_same_cpu_is_noop(self):
+        env = build_plain_vm(2)
+        done = []
+
+        def body(api):
+            yield api.run(MSEC)
+            yield api.migrate_to(api.cpu_index())  # no-op
+            yield api.run(MSEC)
+            done.append(api.cpu_index())
+
+        t = env.kernel.spawn(body, "t", cpu=1, allowed=None)
+        env.engine.run_until(100 * MSEC)
+        assert done and t.stats.migrations <= 1
+
+    def test_immediate_exit_task(self):
+        env = build_plain_vm(1)
+
+        def body(api):
+            return
+            yield  # pragma: no cover
+
+        t = env.kernel.spawn(body, "empty")
+        env.engine.run_until(MSEC)
+        assert t.state == TaskState.EXITED

@@ -1,0 +1,38 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.sim import Engine, MSEC
+from repro.sim.timeline import ACTIVE, EMPTY, FULL, render_task_timeline
+from repro.sim.tracing import Tracer
+
+
+def make_trace():
+    tr = Tracer(enabled=True)
+    # vCPU0 hosts 'job' for [0, 10ms), then idles; host active [0, 20ms).
+    tr.record(0, "host.run", 0, "vm/vcpu0")
+    tr.record(0, "guest.run", 0, "job")
+    tr.record(10 * MSEC, "guest.idle", 0)
+    tr.record(20 * MSEC, "host.stop", 0, "vm/vcpu0")
+    return tr
+
+
+def test_render_marks_task_host_and_idle_cells():
+    tr = make_trace()
+    out = render_task_timeline(tr, "job", 1, 0, 40 * MSEC, width=4)
+    row = out.splitlines()[1]
+    cells = row.split("|")[1]
+    assert cells == FULL + ACTIVE + EMPTY + EMPTY
+
+
+def test_render_covers_all_lanes():
+    tr = make_trace()
+    out = render_task_timeline(tr, "job", 3, 0, 40 * MSEC, width=8)
+    lines = out.splitlines()
+    assert len(lines) == 4  # header + 3 lanes
+    assert lines[2].split("|")[1] == EMPTY * 8  # vCPU1 never used
+
+
+def test_open_interval_extends_to_end():
+    tr = Tracer(enabled=True)
+    tr.record(0, "guest.run", 0, "job")  # never ends
+    out = render_task_timeline(tr, "job", 1, 0, 10 * MSEC, width=5)
+    assert out.splitlines()[1].split("|")[1] == FULL * 5

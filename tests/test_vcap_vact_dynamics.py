@@ -1,0 +1,83 @@
+"""Dynamic-behaviour tests for vcap/vact: tracking change, not just steady
+state (the adaptability property behind §5.7)."""
+
+import pytest
+
+from repro.cluster import attach_scheduler, build_plain_vm
+from repro.sim import MSEC, SEC
+
+
+def probed(env):
+    vs = attach_scheduler(env, "enhanced",
+                          overrides={"enable_vtop": False,
+                                     "enable_rwc": False})
+    return vs
+
+
+class TestCapacityTracking:
+    def test_capacity_drop_tracked_within_seconds(self):
+        env = build_plain_vm(2)
+        vs = probed(env)
+        env.engine.run_until(8 * SEC)
+        assert vs.module.store[0].capacity > 950
+        # Host gives half the core to a new tenant.
+        env.machine.add_host_task("tenant", pinned=(0,))
+        env.engine.run_until(env.engine.now + 8 * SEC)
+        assert vs.module.store[0].capacity < 650
+
+    def test_capacity_recovery_tracked(self):
+        env = build_plain_vm(2)
+        tenant = env.machine.add_host_task("tenant", pinned=(0,))
+        vs = probed(env)
+        env.engine.run_until(10 * SEC)
+        assert vs.module.store[0].capacity < 650
+        env.machine.remove_host_task(tenant)
+        env.engine.run_until(env.engine.now + 8 * SEC)
+        assert vs.module.store[0].capacity > 900
+
+    def test_spike_is_smoothed(self):
+        """A one-second capacity spike must not swing the EMA fully."""
+        env = build_plain_vm(2)
+        tenant = env.machine.add_host_task("tenant", pinned=(0,))
+        vs = probed(env)
+        env.engine.run_until(10 * SEC)
+        low = vs.module.store[0].capacity
+        env.machine.remove_host_task(tenant)
+        env.engine.run_until(env.engine.now + 1 * SEC)   # brief respite
+        spike = vs.module.store[0].capacity
+        env.machine.add_host_task("tenant2", pinned=(0,))
+        env.engine.run_until(env.engine.now + 6 * SEC)
+        settled = vs.module.store[0].capacity
+        assert spike < 950  # did not jump all the way up
+        assert abs(settled - low) < 150
+
+
+class TestLatencyTracking:
+    def test_latency_follows_slice_change(self):
+        env = build_plain_vm(1, host_slice_ns=2 * MSEC)
+        env.machine.add_host_task("tenant", pinned=(0,))
+        vs = probed(env)
+        env.engine.run_until(8 * SEC)
+        assert vs.module.store[0].latency_ns < 3.2 * MSEC
+        env.machine.set_slice(0, 8 * MSEC)
+        env.engine.run_until(env.engine.now + 8 * SEC)
+        assert vs.module.store[0].latency_ns > 5 * MSEC
+
+    def test_cv_rises_under_erratic_interference(self):
+        env = build_plain_vm(1, host_slice_ns=4 * MSEC)
+        # Bursty tenant with irregular on/off times.
+        env.machine.add_host_task("bursty", pinned=(0,),
+                                  duty_on_ns=3 * MSEC, duty_off_ns=11 * MSEC)
+        env.machine.add_host_task("bursty2", pinned=(0,),
+                                  duty_on_ns=7 * MSEC, duty_off_ns=23 * MSEC)
+        vs = probed(env)
+        env.engine.run_until(12 * SEC)
+        erratic_cv = vs.module.store[0].latency_cv
+
+        env2 = build_plain_vm(1, host_slice_ns=4 * MSEC)
+        env2.machine.add_host_task("steady", pinned=(0,))
+        vs2 = probed(env2)
+        env2.engine.run_until(12 * SEC)
+        steady_cv = vs2.module.store[0].latency_cv
+        assert steady_cv < 0.3
+        assert erratic_cv > steady_cv

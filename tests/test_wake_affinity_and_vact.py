@@ -1,0 +1,146 @@
+"""Wake-affinity placement and vact kernel-function behaviours."""
+
+import pytest
+
+from repro.cluster import build_plain_vm
+from repro.guest import Channel, GuestConfig
+from repro.guest.domains import DomainLevel, SchedDomains
+from repro.guest.kernel import VCpuHostState
+from repro.sim import MSEC, SEC, USEC
+
+
+class TestWakeAffinity:
+    def _two_socket_env(self):
+        env = build_plain_vm(8, sockets=2)
+        env.kernel.domains = SchedDomains(8, [
+            DomainLevel("llc", [range(0, 4), range(4, 8)]),
+            DomainLevel("machine", [range(8)]),
+        ])
+        return env
+
+    def test_woken_task_pulled_into_waker_domain(self):
+        """Affinity pulls when the waker's domain is no more loaded than
+        the wakee's home domain (the waker itself counts, so the home
+        domain needs comparable background load for the pull to win)."""
+        env = self._two_socket_env()
+
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        env.kernel.spawn(spin, "bg", cpu=7, allowed=(7,))  # load socket 1
+        ch = Channel("c", lines=1)
+        placements = []
+
+        def producer(api):
+            for _ in range(40):
+                yield api.run(300 * USEC)
+                yield api.send(ch, 1)
+                yield api.sleep(500 * USEC)  # intermittent, like real wakers
+
+        def consumer(api):
+            while True:
+                yield api.recv(ch)
+                placements.append(api.cpu_index())
+                yield api.run(100 * USEC)
+
+        # Producer starts in socket 0; consumer's prev is socket 1.
+        env.kernel.spawn(producer, "p", cpu=0, allowed=(0, 1, 2, 3))
+        env.kernel.spawn(consumer, "c", cpu=6, allowed=None)
+        env.engine.run_until(1 * SEC)
+        # After warm-up, wake affinity keeps the consumer in socket 0.
+        tail = placements[5:]
+        in_socket0 = sum(1 for c in tail if c < 4)
+        assert in_socket0 > len(tail) * 0.8, placements
+
+    def test_busy_waker_domain_does_not_pull(self):
+        env = self._two_socket_env()
+        # Fill socket 0 with spinners so its load is higher.
+        def spin(api):
+            while True:
+                yield api.run(MSEC)
+
+        for i in range(4):
+            env.kernel.spawn(spin, f"s{i}", cpu=i, allowed=(i,))
+        ch = Channel("c", lines=1)
+        placements = []
+
+        def producer(api):
+            for _ in range(30):
+                yield api.run(300 * USEC)
+                yield api.send(ch, 1)
+
+        def consumer(api):
+            while True:
+                yield api.recv(ch)
+                placements.append(api.cpu_index())
+                yield api.run(100 * USEC)
+
+        env.kernel.spawn(producer, "p", cpu=0, allowed=(0,))
+        env.kernel.spawn(consumer, "c", cpu=6, allowed=None)
+        env.engine.run_until(1 * SEC)
+        # Socket 0 is loaded: the consumer stays home in socket 1.
+        tail = placements[5:]
+        in_socket1 = sum(1 for c in tail if c >= 4)
+        assert in_socket1 > len(tail) * 0.8, placements
+
+
+class TestVactKernelFunction:
+    def test_small_steal_jumps_filtered(self):
+        # Interference bursts shorter than the 200 us threshold must not
+        # count as preemptions.
+        env = build_plain_vm(1)
+        env.machine.add_host_task("blip", pinned=(0,),
+                                  duty_on_ns=100 * USEC,
+                                  duty_off_ns=4900 * USEC)
+
+        def spin(api):
+            while True:
+                yield api.run(500 * USEC)
+
+        env.kernel.spawn(spin, "t", cpu=0)
+        env.engine.run_until(1 * SEC)
+        # ~200 blips occurred; nearly none should register.
+        assert env.kernel.cpus[0].preempt_count < 20
+
+    def test_large_jumps_counted(self):
+        env = build_plain_vm(1)
+        env.machine.add_host_task("burst", pinned=(0,),
+                                  duty_on_ns=2 * MSEC, duty_off_ns=8 * MSEC)
+
+        def spin(api):
+            while True:
+                yield api.run(500 * USEC)
+
+        env.kernel.spawn(spin, "t", cpu=0)
+        env.engine.run_until(1 * SEC)
+        assert 70 < env.kernel.cpus[0].preempt_count < 130
+
+    def test_state_query_since_tracks_resume(self):
+        env = build_plain_vm(1, host_slice_ns=5 * MSEC)
+        env.machine.add_host_task("stress", pinned=(0,))
+
+        def spin(api):
+            while True:
+                yield api.run(500 * USEC)
+
+        env.kernel.spawn(spin, "t", cpu=0)
+        env.engine.run_until(500 * MSEC)
+        state, since = env.kernel.vcpu_state(0)
+        if state == VCpuHostState.ACTIVE:
+            # 'since' must be recent: within one activity cycle.
+            assert env.engine.now - since < 12 * MSEC
+
+    def test_custom_config_thresholds_apply(self):
+        cfg = GuestConfig(steal_jump_threshold_ns=5 * MSEC)
+        env = build_plain_vm(1, host_slice_ns=2 * MSEC, guest_config=cfg)
+        env.machine.add_host_task("stress", pinned=(0,))
+
+        def spin(api):
+            while True:
+                yield api.run(500 * USEC)
+
+        env.kernel.spawn(spin, "t", cpu=0)
+        env.engine.run_until(1 * SEC)
+        # 2 ms steal jumps < 5 ms threshold: filtered out entirely.
+        assert env.kernel.cpus[0].preempt_count == 0

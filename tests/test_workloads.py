@@ -1,0 +1,210 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
+from repro.sim import MSEC, SEC, USEC
+from repro.workloads import (
+    BarrierWorkload,
+    BestEffortFiller,
+    CpuBoundJob,
+    DataParallelWorkload,
+    Fio,
+    Hackbench,
+    LatencyWorkload,
+    LockWorkload,
+    Matmul,
+    NginxServer,
+    OVERALL_LATENCY,
+    OVERALL_THROUGHPUT,
+    PARSEC_SPECS,
+    Pbzip2,
+    PipelineWorkload,
+    SelfMigratingJob,
+    SysbenchCpu,
+    TAILBENCH,
+    build_parsec,
+    build_workload,
+)
+
+
+def run_workload(wl, n=8, timeout=120 * SEC, extra=None):
+    env = build_plain_vm(n)
+    vs = attach_scheduler(env, "cfs")
+    ctx = make_context(env, vs, f"wl-{wl.name}")
+    workloads = [wl] + (extra or [])
+    run_to_completion(env, workloads, ctx, timeout_ns=timeout, wait_for=[wl])
+    return env, wl
+
+
+class TestCatalogue:
+    def test_overall_lists_cover_the_paper(self):
+        assert len(OVERALL_THROUGHPUT) == 23  # 10 PARSEC + 11 SPLASH + 2
+        assert len(OVERALL_LATENCY) == 8
+        assert len(TAILBENCH) == 8
+        assert len(PARSEC_SPECS) >= 21
+
+    def test_build_workload_knows_every_name(self):
+        for name in OVERALL_THROUGHPUT + OVERALL_LATENCY + ["hackbench",
+                                                            "fio", "matmul",
+                                                            "sysbench"]:
+            wl = build_workload(name, threads=4, scale=0.05)
+            assert wl is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_workload("doom", threads=4)
+
+
+class TestThroughputFamilies:
+    def test_cpu_bound_job_completes_exact_work(self):
+        env, wl = run_workload(CpuBoundJob(threads=4, work_per_thread_ns=50 * MSEC))
+        assert wl.done
+        for t in wl.tasks:
+            assert t.stats.work_done == pytest.approx(50 * MSEC, rel=1e-6)
+
+    def test_barrier_workload_phases_complete(self):
+        wl = BarrierWorkload("b", threads=4, phases=10, phase_work_ns=2 * MSEC)
+        env, wl = run_workload(wl)
+        assert wl.done
+        assert wl.barrier.completed == 10
+
+    def test_barrier_straggler_dominates(self):
+        # With one vCPU 10x slower, a barrier job is straggler-bound.
+        env = build_plain_vm(4)
+        env.machine.set_bandwidth(env.vm.vcpu(0), quota_ns=1 * MSEC,
+                                  period_ns=10 * MSEC)
+        vs = attach_scheduler(env, "cfs")
+        ctx = make_context(env, vs, "strag")
+        wl = BarrierWorkload("b", threads=4, phases=10,
+                             phase_work_ns=2 * MSEC, jitter=0.0)
+        for i, _ in enumerate(range(4)):
+            pass
+        # Pin one thread per vCPU so one lands on the slow vCPU.
+        wl.start(ctx)
+        for i, t in enumerate(wl.tasks):
+            pass
+        env.engine.run_until(5 * SEC)
+        assert wl.done
+        # Perfect host would need ~20 ms; the straggler stretches phases.
+        assert wl.elapsed_ns() > 30 * MSEC
+
+    def test_dataparallel_all_chunks_processed(self):
+        wl = DataParallelWorkload("d", threads=4, chunks=40,
+                                  chunk_work_ns=1 * MSEC)
+        env, wl = run_workload(wl)
+        assert wl.done
+        total = sum(t.stats.work_done for t in wl.tasks)
+        assert total >= 40 * 0.5 * MSEC
+
+    def test_pipeline_delivers_all_items(self):
+        wl = PipelineWorkload("p", items=50, stages=[
+            ("a", 1, 100 * USEC), ("b", 2, 300 * USEC), ("c", 1, 100 * USEC)])
+        env, wl = run_workload(wl)
+        assert wl.done
+
+    def test_lock_workload_completes(self):
+        wl = LockWorkload("l", threads=4, iterations=20,
+                          cs_work_ns=50 * USEC, outside_work_ns=200 * USEC)
+        env, wl = run_workload(wl)
+        assert wl.done
+        assert wl.lock.owner is None
+
+    def test_parsec_builder_families(self):
+        assert isinstance(build_parsec("streamcluster", 4, 0.05), BarrierWorkload)
+        assert isinstance(build_parsec("blackscholes", 4, 0.05), DataParallelWorkload)
+        assert isinstance(build_parsec("dedup", 4, 0.05), PipelineWorkload)
+        assert isinstance(build_parsec("canneal", 4, 0.05), LockWorkload)
+        assert build_parsec("streamcluster", 4, 0.05).spin
+        assert not build_parsec("bodytrack", 4, 0.05).spin
+
+
+class TestLatencyFamilies:
+    def test_latency_workload_records_components(self):
+        wl = LatencyWorkload("silo", workers=4, n_requests=60,
+                             warmup_requests=5)
+        env, wl = run_workload(wl)
+        assert wl.done
+        assert len(wl.requests) == 55
+        for r in wl.requests[:10]:
+            assert r.queue_ns >= 0
+            assert r.service_ns > 0
+            assert r.e2e_ns == r.queue_ns + r.service_ns
+        assert wl.p95_ns() > 0
+
+    def test_nginx_throughput_series(self):
+        env = build_plain_vm(8)
+        vs = attach_scheduler(env, "cfs")
+        ctx = make_context(env, vs, "ng")
+        wl = NginxServer(workers=4, service_ns=300 * USEC,
+                         rate_per_sec=2000.0, duration_ns=3 * SEC)
+        wl.start(ctx)
+        env.engine.run_until(4 * SEC)
+        series = wl.throughput_series(1 * SEC, t0=0, t1=3 * SEC)
+        assert len(series) == 3
+        for rps in series:
+            assert 1700 < rps < 2300
+
+    def test_nginx_saturates_at_capacity(self):
+        env = build_plain_vm(2)
+        vs = attach_scheduler(env, "cfs")
+        ctx = make_context(env, vs, "ng2")
+        # 2 workers x 1 ms service = 2000/s capacity; offer 5000/s.
+        wl = NginxServer(workers=2, service_ns=1 * MSEC, rate_per_sec=5000.0,
+                         duration_ns=3 * SEC)
+        wl.start(ctx)
+        env.engine.run_until(4 * SEC)
+        served = wl.served_between(1 * SEC, 3 * SEC) / 2.0
+        assert served == pytest.approx(2000.0, rel=0.1)
+
+
+class TestApps:
+    def test_hackbench_completes_and_communicates(self):
+        wl = Hackbench(groups=2, pairs_per_group=2, messages=30)
+        env, wl = run_workload(wl)
+        assert wl.done
+        assert env.kernel.stats.wakeups > 100
+
+    def test_fio_mostly_sleeps(self):
+        wl = Fio(threads=4, iterations=50, cpu_ns=20 * USEC,
+                 io_wait_ns=500 * USEC)
+        env, wl = run_workload(wl)
+        assert wl.done
+        busy = sum(t.stats.work_done for t in wl.tasks)
+        assert busy < 0.2 * wl.elapsed_ns() * 4
+
+    def test_pbzip2_is_pipeline(self):
+        wl = Pbzip2(threads=6, blocks=40)
+        env, wl = run_workload(wl)
+        assert wl.done
+
+    def test_sysbench_counts_events(self):
+        env = build_plain_vm(4)
+        vs = attach_scheduler(env, "cfs")
+        ctx = make_context(env, vs, "sb")
+        wl = SysbenchCpu(threads=4, event_work_ns=500 * USEC)
+        wl.start(ctx)
+        env.engine.run_until(1 * SEC)
+        assert wl.events == pytest.approx(8000, rel=0.05)
+
+    def test_matmul_and_selfmigrating(self):
+        env, wl = run_workload(Matmul(threads=4, blocks=8,
+                                      block_work_ns=2 * MSEC))
+        assert wl.done
+        env, wl = run_workload(SelfMigratingJob(work_ns=20 * MSEC,
+                                                migrate_every_ns=2 * MSEC))
+        assert wl.done
+        assert wl.tasks[0].stats.migrations > 5
+
+    def test_best_effort_filler_runs_at_idle_priority(self):
+        env = build_plain_vm(2)
+        vs = attach_scheduler(env, "cfs")
+        ctx = make_context(env, vs, "be")
+        filler = BestEffortFiller()
+        filler.start(ctx)
+        wl = CpuBoundJob(threads=2, work_per_thread_ns=100 * MSEC)
+        wl.start(ctx)
+        env.engine.run_until(5 * SEC)
+        assert wl.done
+        # The CPU-bound job ran essentially undisturbed.
+        assert wl.elapsed_ns() < 110 * MSEC
