@@ -4,7 +4,13 @@ Usage::
 
     vsched-repro list
     vsched-repro run fig2 [--fast]
-    vsched-repro run all [--fast] [--out results.txt]
+    vsched-repro run all [--fast] [--jobs N] [--out results.txt [--append]]
+
+``--jobs N`` fans work out over N worker processes: ``run all`` runs whole
+experiments in parallel; a single experiment parallelizes its scenario
+sweep (where the experiment has been migrated onto
+:func:`repro.experiments.parallel.run_scenarios`).  Parallel runs render
+byte-identically to serial ones — see ``docs/INTERNALS.md`` §8.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.experiments import parallel
 from repro.experiments.common import (
     EXPERIMENTS,
     check_experiment,
@@ -39,8 +46,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="shrunken workloads (seconds instead of minutes)")
     runp.add_argument("--no-check", action="store_true",
                       help="skip the qualitative shape assertions")
+    runp.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes (default 1, or "
+                           f"${parallel.JOBS_ENV_VAR})")
     runp.add_argument("--out", default=None,
-                      help="also append rendered tables to this file")
+                      help="also write rendered tables to this file "
+                           "(truncated unless --append)")
+    runp.add_argument("--append", action="store_true",
+                      help="append to --out instead of truncating it")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -48,27 +61,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{exp_id:8s} -> {EXPERIMENTS[exp_id]}")
         return 0
 
+    jobs = args.jobs if args.jobs is not None else parallel.default_jobs()
     ids = ALL_ORDER if args.experiment == "all" else [args.experiment]
-    failures = []
-    out_fh = open(args.out, "a") if args.out else None
+    out_fh = open(args.out, "a" if args.append else "w") if args.out else None
     try:
-        for exp_id in ids:
-            started = time.time()
-            print(f"--- running {exp_id} "
-                  f"({'fast' if args.fast else 'full'}) ---", flush=True)
-            table = run_experiment(exp_id, fast=args.fast)
-            rendered = table.render()
-            print(rendered, flush=True)
-            if out_fh:
-                out_fh.write(rendered + "\n\n")
-                out_fh.flush()
-            if not args.no_check:
-                try:
-                    check_experiment(exp_id, table)
-                    print(f"[shape check OK, {time.time() - started:.0f}s]\n")
-                except AssertionError as exc:
-                    failures.append(exp_id)
-                    print(f"[SHAPE CHECK FAILED: {exc}]\n")
+        if args.experiment == "all" and jobs > 1:
+            failures = _run_campaign(ids, args, jobs, out_fh)
+        else:
+            failures = _run_serial(ids, args, jobs, out_fh)
     finally:
         if out_fh:
             out_fh.close()
@@ -76,6 +76,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"shape-check failures: {failures}")
         return 1
     return 0
+
+
+def _run_serial(ids: List[str], args, jobs: int, out_fh) -> List[str]:
+    """In-process loop; scenario sweeps may still fan out with --jobs."""
+    parallel.set_default_jobs(jobs)
+    failures = []
+    for exp_id in ids:
+        started = time.time()
+        print(f"--- running {exp_id} "
+              f"({'fast' if args.fast else 'full'}) ---", flush=True)
+        table = run_experiment(exp_id, fast=args.fast)
+        rendered = table.render()
+        print(rendered, flush=True)
+        if out_fh:
+            out_fh.write(rendered + "\n\n")
+            out_fh.flush()
+        if not args.no_check:
+            try:
+                check_experiment(exp_id, table)
+                print(f"[shape check OK, {time.time() - started:.0f}s]\n")
+            except AssertionError as exc:
+                failures.append(exp_id)
+                print(f"[SHAPE CHECK FAILED: {exc}]\n")
+    return failures
+
+
+def _run_campaign(ids: List[str], args, jobs: int, out_fh) -> List[str]:
+    """Whole experiments across worker processes, streamed in paper order."""
+    failures = []
+    for res in parallel.run_campaign(ids, fast=args.fast,
+                                     check=not args.no_check, jobs=jobs):
+        print(f"--- running {res.exp_id} "
+              f"({'fast' if args.fast else 'full'}) ---", flush=True)
+        print(res.rendered, flush=True)
+        if out_fh:
+            out_fh.write(res.rendered + "\n\n")
+            out_fh.flush()
+        if not args.no_check:
+            if res.ok:
+                print(f"[shape check OK, {res.wall_s:.0f}s]\n")
+            else:
+                failures.append(res.exp_id)
+                print(f"[SHAPE CHECK FAILED: {res.check_error}]\n")
+    return failures
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from repro.cluster import (
     run_to_completion,
 )
 from repro.experiments.common import Table
+from repro.experiments.parallel import run_scenarios
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import BestEffortFiller, LatencyWorkload
 
@@ -53,10 +54,15 @@ def run(fast: bool = False) -> Table:
         paper_expectation="p95 grows up to 20x from 2 ms to 16 ms vCPU "
                           "latency in both scenarios",
     )
+    configs = [(bench, ms, best_effort, n_vcpus, n_requests)
+               for best_effort in (False, True)
+               for bench in BENCHMARKS
+               for ms in LATENCIES_MS]
+    p95 = dict(zip(configs, run_scenarios(_one_run, configs)))
     for best_effort in (False, True):
         scenario = "with best-effort" if best_effort else "no best-effort"
         for bench in BENCHMARKS:
-            raw = {ms: _one_run(bench, ms, best_effort, n_vcpus, n_requests)
+            raw = {ms: p95[(bench, ms, best_effort, n_vcpus, n_requests)]
                    for ms in LATENCIES_MS}
             base = raw[16]
             table.add(scenario, bench,

@@ -15,6 +15,7 @@ from typing import Dict
 
 from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
 from repro.experiments.common import Table
+from repro.experiments.parallel import run_scenarios
 from repro.metrics import CycleMeter
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import Hackbench
@@ -82,9 +83,13 @@ def run(fast: bool = False) -> Table:
         paper_expectation="vtop: ~26% higher throughput, +14.5% IPC, "
                           "up to 99% fewer IPIs",
     )
+    configs = [(bench, vtop, fast)
+               for bench in ("dedup", "nginx", "hackbench")
+               for vtop in (False, True)]
+    results = dict(zip(configs, run_scenarios(_run, configs)))
     for bench in ("dedup", "nginx", "hackbench"):
-        base = _run(bench, False, fast)
-        w = _run(bench, True, fast)
+        base = results[(bench, False, fast)]
+        w = results[(bench, True, fast)]
         table.add(bench, "throughput", 100.0 * base["throughput"] / w["throughput"], 100.0)
         table.add(bench, "ipc", 100.0 * base["ipc"] / w["ipc"], 100.0)
         table.add(bench, "ipi", 100.0 * base["ipis"] / max(1.0, w["ipis"]), 100.0)

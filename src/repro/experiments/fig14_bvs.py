@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
 from repro.experiments.common import Table
+from repro.experiments.parallel import run_scenarios
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import BestEffortFiller, LatencyWorkload
 
@@ -55,6 +56,12 @@ def run_one(bench: str, bvs: bool, best_effort: bool, n_requests: int,
     return wl
 
 
+def _scenario_p95(bench: str, bvs: bool, best_effort: bool,
+                  n_requests: int) -> float:
+    """Worker for the parallel runner: one config -> p95 (picklable)."""
+    return run_one(bench, bvs, best_effort, n_requests).p95_ns()
+
+
 def run(fast: bool = False) -> Table:
     n_requests = 150 if fast else 400
     table = Table(
@@ -64,11 +71,16 @@ def run(fast: bool = False) -> Table:
         columns=["scenario", "benchmark", "no_bvs_ms", "bvs_ms", "bvs_pct"],
         paper_expectation="bvs reduces p95 tail latency by 42% on average",
     )
+    configs = [(bench, bvs, best_effort, n_requests)
+               for best_effort in (False, True)
+               for bench in BENCHMARKS
+               for bvs in (False, True)]
+    p95 = dict(zip(configs, run_scenarios(_scenario_p95, configs)))
     for best_effort in (False, True):
         scenario = "with best-effort" if best_effort else "no best-effort"
         for bench in BENCHMARKS:
-            base = run_one(bench, False, best_effort, n_requests).p95_ns()
-            with_bvs = run_one(bench, True, best_effort, n_requests).p95_ns()
+            base = p95[(bench, False, best_effort, n_requests)]
+            with_bvs = p95[(bench, True, best_effort, n_requests)]
             table.add(scenario, bench, base / MSEC, with_bvs / MSEC,
                       100.0 * with_bvs / base)
     return table

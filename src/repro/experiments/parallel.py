@@ -1,0 +1,166 @@
+"""Parallel experiment campaigns.
+
+Two fan-out layers, both deterministic:
+
+* :func:`run_scenarios` — run the independent scenario configurations of
+  *one* experiment (e.g. fig14's per-benchmark ``run_one`` calls) across
+  ``multiprocessing`` workers.  Results come back in input order, so a
+  parallel campaign renders byte-identically to a serial one.
+* :func:`run_campaign` — run *whole experiments* (``vsched-repro run all
+  --jobs N``) across workers, again preserving the paper's presentation
+  order.
+
+Determinism contract
+--------------------
+Every scenario derives **all** of its randomness from an explicit seed
+string (see :func:`repro.sim.rng.make_rng`), typically
+``f"{exp_id}-{param1}-{param2}"``.  Seeds therefore depend only on the
+scenario's identity — never on execution order, worker id, or wall clock —
+so a scenario computes the same result in any process.  The simulation
+itself is a deterministic event loop (integer-nanosecond time, ``(time,
+seq)`` tie-breaking), so serial and parallel campaigns must render
+byte-identical tables; ``tests/test_determinism.py`` enforces this.
+
+Worker functions must be module-level (picklable) and return picklable
+values (floats / dicts / :class:`~repro.experiments.common.Table`), not
+live simulation objects.
+
+Nested pools are not attempted: scenario-level fan-out inside a campaign
+worker silently degrades to serial execution (pool workers are daemonic),
+so ``run all --jobs N`` parallelizes across experiments only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: Environment variable consulted for the default worker count.
+JOBS_ENV_VAR = "VSCHED_REPRO_JOBS"
+
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default for ``run_scenarios(jobs=None)``.
+
+    The CLI calls this with ``--jobs`` so experiments fan their scenario
+    sweeps out without threading a parameter through every ``run()``.
+    """
+    global _default_jobs
+    _default_jobs = None if jobs is None else max(1, int(jobs))
+
+
+def default_jobs() -> int:
+    """Resolve the default worker count (explicit > $VSCHED_REPRO_JOBS > 1)."""
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(JOBS_ENV_VAR)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def _in_pool_worker() -> bool:
+    """True when already inside a multiprocessing pool worker."""
+    return mp.current_process().daemon
+
+
+def _pool_context():
+    """Prefer fork (cheap, POSIX) and fall back to spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_scenarios(func: Callable, configs: Sequence[tuple],
+                  jobs: Optional[int] = None) -> List:
+    """Run ``func(*config)`` for every config; return results in order.
+
+    ``func`` must be a module-level callable whose randomness comes only
+    from seeds encoded in the config (the determinism contract above).
+    ``jobs=None`` uses :func:`default_jobs`; ``jobs<=1``, a single config,
+    or being already inside a pool worker all run serially in-process —
+    the exact code path a plain loop would take.
+    """
+    configs = list(configs)
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = min(max(1, jobs), len(configs)) if configs else 1
+    if jobs <= 1 or _in_pool_worker():
+        return [func(*cfg) for cfg in configs]
+    with _pool_context().Pool(processes=jobs) as pool:
+        # chunksize=1: scenarios are coarse (seconds each); favour balance.
+        return pool.starmap(func, configs, chunksize=1)
+
+
+# ----------------------------------------------------------------------
+# Campaign-level fan-out (whole experiments)
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignResult:
+    """Outcome of one experiment inside a campaign."""
+
+    exp_id: str
+    rendered: str
+    wall_s: float
+    events_fired: int
+    check_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.check_error is None
+
+
+def _campaign_worker(exp_id: str, fast: bool, check: bool) -> CampaignResult:
+    # Imported here so spawn-based pools do not need the module state of
+    # the parent process.
+    from repro.experiments.common import check_experiment, run_experiment
+    from repro.sim.engine import Engine
+
+    events0 = Engine.total_events_fired
+    started = time.time()
+    table = run_experiment(exp_id, fast=fast)
+    wall = time.time() - started
+    events = Engine.total_events_fired - events0
+    check_error = None
+    if check:
+        try:
+            check_experiment(exp_id, table)
+        except AssertionError as exc:
+            check_error = str(exc)
+    return CampaignResult(exp_id=exp_id, rendered=table.render(),
+                          wall_s=wall, events_fired=events,
+                          check_error=check_error)
+
+
+def run_campaign(exp_ids: Sequence[str], fast: bool = False,
+                 check: bool = True, jobs: Optional[int] = None):
+    """Run experiments (optionally in parallel); yield ordered results.
+
+    Yields :class:`CampaignResult` in the order of ``exp_ids`` as soon as
+    each ordered slot completes, so callers can stream output while later
+    experiments are still running.
+    """
+    ids = list(exp_ids)
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = min(max(1, jobs), len(ids)) if ids else 1
+    if jobs <= 1 or _in_pool_worker():
+        for exp_id in ids:
+            yield _campaign_worker(exp_id, fast, check)
+        return
+    with _pool_context().Pool(processes=jobs) as pool:
+        args = [(exp_id, fast, check) for exp_id in ids]
+        # imap preserves submission order while overlapping execution.
+        for result in pool.imap(_star_campaign_worker, args):
+            yield result
+
+
+def _star_campaign_worker(args: Tuple[str, bool, bool]) -> CampaignResult:
+    return _campaign_worker(*args)

@@ -89,12 +89,17 @@ class LoadBalancer:
         my_cap = max(1.0, kernel.capacity_of(cpu.index))
         busiest = None
         busiest_key = None
+        my_index = cpu.index
+        cpus = kernel.cpus
         for c in span:
-            if c == cpu.index:
+            if c == my_index:
                 continue
-            other = kernel.cpus[c]
-            key = (other.rq.nr_running(), other.rq.load())
-            if other.rq.nr_running() > 0 and (busiest is None or key > busiest_key):
+            other = cpus[c]
+            nr = other.rq.nr_running()
+            if nr == 0:
+                continue
+            key = (nr, other.rq.load())
+            if busiest is None or key > busiest_key:
                 busiest = other
                 busiest_key = key
         if busiest is not None:

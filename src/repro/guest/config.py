@@ -48,6 +48,12 @@ class GuestConfig:
     #: Half-life of the idle drift of the default capacity estimate back
     #: toward full scale (the staleness the paper exploits in §5.3).
     cfs_capacity_idle_halflife_ns: int = 250 * MSEC
+    #: Maximum number of spin polls coalesced into one execution segment.
+    #: Consecutive failed polls escalate 1, 2, 4, ... up to this cap, which
+    #: bounds how stale a coalesced spinner's view of the sync object can
+    #: get (cap * spin_check_ns of extra acquisition delay in the worst
+    #: case).  1 disables coalescing.
+    spin_coalesce_max: int = 8
 
     def slice_for(self, nr_running: int) -> int:
         """CFS time slice given the number of co-runnable tasks."""

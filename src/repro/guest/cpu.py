@@ -29,6 +29,7 @@ class GuestCpu:
 
     def __init__(self, kernel, vcpu, index: int):
         self.kernel = kernel
+        self.engine = kernel.engine
         self.vcpu = vcpu
         self.index = index
         vcpu.guest_cpu = self
@@ -90,7 +91,7 @@ class GuestCpu:
         if self._tick_event is not None:
             self._tick_event.cancel()
         due = max(now, self._tick_due)
-        self._tick_event = self.kernel.engine.call_at(due, self._tick)
+        self._tick_event = self.engine.call_at(due, self._tick)
         if self.current is None:
             self._dispatch()
         else:
@@ -107,6 +108,12 @@ class GuestCpu:
             self._tick_event = None
 
     def host_rate_changed(self, now: int, rate: float) -> None:
+        if rate == self.rate:
+            # Re-arm elision: the completion estimate armed for the current
+            # segment is still exact, so skip the integrate/cancel/re-push
+            # churn entirely (SMT-sibling and DVFS notifications frequently
+            # re-announce an unchanged rate).
+            return
         self._integrate(now)
         self.rate = rate
         self._arm_segment()
@@ -134,19 +141,26 @@ class GuestCpu:
         task.pelt.update(now, True)
 
     def _arm_segment(self) -> None:
-        if self._seg_event is not None:
-            self._seg_event.cancel()
-            self._seg_event = None
+        ev = self._seg_event
         task = self.current
         if task is None or self.rate <= 0:
+            if ev is not None:
+                ev.cancel()
+                self._seg_event = None
             return
-        remaining = max(0.0, task.pending_work)
-        delay = int(remaining / self.rate) + 1
-        self._seg_event = self.kernel.engine.call_in(delay, self._segment_done)
+        remaining = task.pending_work
+        if remaining < 0.0:
+            remaining = 0.0
+        due = self.engine.now + int(remaining / self.rate) + 1
+        if ev is not None:
+            if not ev.cancelled and ev.time == due:
+                return  # same completion instant: keep the armed event
+            ev.cancel()
+        self._seg_event = self.engine.call_at(due, self._segment_done)
 
     def _segment_done(self) -> None:
         self._seg_event = None
-        now = self.kernel.engine.now
+        now = self.engine.now
         self._integrate(now)
         task = self.current
         if task is None:
@@ -202,7 +216,7 @@ class GuestCpu:
         """Pick and start the next runnable task (or go idle)."""
         if self._in_sched:
             return  # the active scheduling pass will see the new work
-        now = self.kernel.engine.now
+        now = self.engine.now
         tried_newidle = False
         self._in_sched = True
         try:
@@ -252,7 +266,7 @@ class GuestCpu:
         task = self.current
         if task is None:
             return None
-        now = self.kernel.engine.now
+        now = self.engine.now
         self._integrate(now)
         if self._seg_event is not None:
             self._seg_event.cancel()
@@ -267,7 +281,7 @@ class GuestCpu:
         task = self.current
         if task is None:
             return None
-        now = self.kernel.engine.now
+        now = self.engine.now
         self._integrate(now)
         if self._seg_event is not None:
             self._seg_event.cancel()
@@ -295,11 +309,11 @@ class GuestCpu:
     # Tick
     # ------------------------------------------------------------------
     def _tick(self) -> None:
-        now = self.kernel.engine.now
+        now = self.engine.now
         self._tick_event = None
         self._tick_due = now + self.kernel.config.tick_ns
         if self.host_active:
-            self._tick_event = self.kernel.engine.call_at(self._tick_due, self._tick)
+            self._tick_event = self.engine.call_at(self._tick_due, self._tick)
         self._integrate(now)
         self.kernel.on_tick(self, now)
         self.last_tick_time = now

@@ -237,9 +237,22 @@ class GuestKernel:
             if task.spinning_on is not None:
                 if self._spin_check(task):
                     task.spinning_on = None
+                    task.spin_streak = 0
                 else:
-                    task.pending_work = float(task.spin_poll_ns)
-                    self.stats.spin_wait_ns += task.spin_poll_ns
+                    # Coalesce consecutive failed polls into one larger
+                    # segment (1, 2, 4, ... polls, capped) so a long spin
+                    # does not fire a completion event per poll.  The rate
+                    # integration is linear, so the burned vCPU time is
+                    # identical; only the poll instants are batched.
+                    streak = task.spin_streak
+                    task.spin_streak = streak + 1
+                    polls = 1 << streak if streak < 6 else 64
+                    cap = self.config.spin_coalesce_max
+                    if polls > cap:
+                        polls = cap
+                    work = task.spin_poll_ns * polls
+                    task.pending_work = float(work)
+                    self.stats.spin_wait_ns += work
                     task.needs_advance = True
                     return True
 
@@ -383,6 +396,7 @@ class GuestKernel:
         m.contentions += 1
         if m.spin:
             task.spinning_on = ("mutex", m, 0)
+            task.spin_streak = 0
             task.spin_poll_ns = m.spin_check_ns
             return True  # caller runs the spin poll as work
         m.waiters.append(task)
@@ -413,6 +427,7 @@ class GuestKernel:
             return True
         if b.spin:
             task.spinning_on = ("barrier", b, b.generation)
+            task.spin_streak = 0
             task.spin_poll_ns = b.spin_check_ns
             return True
         b.waiters.append(task)

@@ -13,6 +13,10 @@ from typing import List, Optional
 from repro.guest.task import GUEST_NICE0_WEIGHT, Task, TaskState
 
 
+def _pick_key(t: Task):
+    return (t.vruntime, t.tid)
+
+
 class CfsRunqueue:
     """Runnable-task queue for one guest CPU."""
 
@@ -87,8 +91,11 @@ class CfsRunqueue:
         band = self.normal or self.idle_band
         if not band:
             return None
-        best = min(band, key=lambda t: (t.vruntime, t.tid))
-        band.remove(best)
+        if len(band) == 1:
+            best = band.pop()
+        else:
+            best = min(band, key=_pick_key)
+            band.remove(best)
         if best.vruntime > self.min_vruntime:
             self.min_vruntime = best.vruntime
         return best

@@ -180,6 +180,7 @@ class Task:
         self.resume_value: Any = None    # value for the next generator send
         self.needs_advance = True        # generator must be advanced on dispatch
         self.spinning_on = None          # spin-sync object being polled
+        self.spin_streak = 0             # consecutive failed spin polls
         self.slice_ran = 0               # wall-active time in the current slice
         self.last_wake_time = 0
         self.run_started_at: Optional[int] = None  # on-CPU since (ivh threshold)

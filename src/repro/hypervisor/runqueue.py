@@ -29,6 +29,7 @@ class HostRunqueue:
     def __init__(self, machine, thread, slice_ns: int = 4 * MSEC,
                  wakeup_gran_ns: Optional[int] = None):
         self.machine = machine
+        self.engine = machine.engine
         self.thread = thread
         self.slice_ns = slice_ns
         self.wakeup_gran_ns = wakeup_gran_ns
@@ -42,10 +43,6 @@ class HostRunqueue:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    @property
-    def engine(self):
-        return self.machine.engine
-
     def nr_runnable(self) -> int:
         """Entities running or waiting here."""
         return len(self.waiting) + (1 if self.current is not None else 0)
@@ -83,10 +80,13 @@ class HostRunqueue:
                 self._dispatch()
 
     def _pick_next(self) -> Optional[HostEntity]:
-        if not self.waiting:
+        waiting = self.waiting
+        if not waiting:
             return None
-        best = min(self.waiting, key=lambda e: (e.vruntime, e.name))
-        self.waiting.remove(best)
+        if len(waiting) == 1:
+            return waiting.pop()
+        best = min(waiting, key=lambda e: (e.vruntime, e.name))
+        waiting.remove(best)
         return best
 
     def _dispatch(self) -> None:

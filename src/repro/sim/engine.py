@@ -9,17 +9,36 @@ identity.
 The engine is deliberately minimal: entities schedule callbacks, callbacks
 may schedule more callbacks.  Higher layers (hypervisor, guest kernel) build
 their state machines on top of this primitive.
+
+Internals are tuned for the hot path:
+
+* the heap stores ``(time, seq, event)`` tuples so ordering is decided by
+  C-level integer comparisons instead of Python ``__lt__`` calls;
+* cancellation stays lazy, but the engine counts cancelled-in-heap events
+  and compacts the heap when they dominate, so ``run_until`` does not churn
+  through millions of dead entries;
+* ``pending()`` is O(1), maintained on push/pop/cancel.
+
+Compaction filters dead entries and re-heapifies the survivors; since the
+``(time, seq)`` key is unique per event, the pop order after compaction is
+identical to the order before it — event ordering semantics are preserved.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 #: One microsecond / millisecond / second expressed in engine time units.
 USEC = 1_000
 MSEC = 1_000_000
 SEC = 1_000_000_000
+
+#: Compact the heap only when at least this many dead entries accumulated
+#: (avoids rebuilding tiny heaps) ...
+_COMPACT_MIN_CANCELLED = 64
+#: ... and the dead entries are at least half of the heap.
+_COMPACT_FRACTION = 2
 
 
 def ns_to_ms(t: int) -> float:
@@ -40,18 +59,26 @@ class Event:
     surfaces.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine")
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(self, time: int, seq: int, callback: Callable[..., None],
+                 args: tuple, engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from running when the event fires."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        eng = self._engine
+        if eng is not None:
+            self._engine = None
+            eng._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -77,12 +104,20 @@ class Engine:
         eng.run_until(1 * SEC)
     """
 
+    #: Process-wide count of events fired across all engines (perf metric;
+    #: read by tools/bench.py to report events/sec).
+    total_events_fired: int = 0
+
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[int, int, Event]] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        #: Cancelled events still sitting in the heap.
+        self._ncancelled = 0
+        #: Events fired by this engine instance.
+        self.events_fired = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -97,9 +132,9 @@ class Engine:
             raise ValueError(
                 f"cannot schedule event at {time} before current time {self.now}"
             )
-        self._seq += 1
-        ev = Event(time, self._seq, callback, args)
-        heapq.heappush(self._heap, ev)
+        self._seq = seq = self._seq + 1
+        ev = Event(time, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, seq, ev))
         return ev
 
     def call_in(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
@@ -121,20 +156,29 @@ class Engine:
             raise RuntimeError("engine is not reentrant")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
+        fired = 0
         try:
-            while self._heap and not self._stopped:
-                ev = self._heap[0]
-                if ev.time > deadline:
+            while heap and not self._stopped:
+                entry = heap[0]
+                if entry[0] > deadline:
                     break
-                heapq.heappop(self._heap)
+                pop(heap)
+                ev = entry[2]
                 if ev.cancelled:
+                    self._ncancelled -= 1
                     continue
-                self.now = ev.time
+                ev._engine = None
+                self.now = entry[0]
                 ev.callback(*ev.args)
+                fired += 1
             if self.now < deadline:
                 self.now = deadline
         finally:
             self._running = False
+            self.events_fired += fired
+            Engine.total_events_fired += fired
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events`` fire); return count."""
@@ -142,19 +186,26 @@ class Engine:
             raise RuntimeError("engine is not reentrant")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
         fired = 0
         try:
-            while self._heap and not self._stopped:
+            while heap and not self._stopped:
                 if max_events is not None and fired >= max_events:
                     break
-                ev = heapq.heappop(self._heap)
+                entry = pop(heap)
+                ev = entry[2]
                 if ev.cancelled:
+                    self._ncancelled -= 1
                     continue
-                self.now = ev.time
+                ev._engine = None
+                self.now = entry[0]
                 ev.callback(*ev.args)
                 fired += 1
         finally:
             self._running = False
+            self.events_fired += fired
+            Engine.total_events_fired += fired
         return fired
 
     def stop(self) -> None:
@@ -162,5 +213,26 @@ class Engine:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._ncancelled
+
+    # ------------------------------------------------------------------
+    # Lazy-cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """An in-heap event was cancelled; compact when dead entries win."""
+        self._ncancelled = n = self._ncancelled + 1
+        if (n >= _COMPACT_MIN_CANCELLED
+                and n * _COMPACT_FRACTION >= len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, preserving pop order.
+
+        Mutates the heap list in place so that a ``run_until`` loop holding
+        a reference keeps seeing the live heap.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._ncancelled = 0

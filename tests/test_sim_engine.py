@@ -123,3 +123,118 @@ def test_engine_not_reentrant():
     eng.call_in(1, bad)
     with pytest.raises(RuntimeError):
         eng.run_until(10)
+
+
+# ----------------------------------------------------------------------
+# Edge cases around lazy cancellation, compaction, and O(1) pending
+# ----------------------------------------------------------------------
+def test_cancel_after_fire_is_harmless():
+    eng = Engine()
+    fired = []
+    ev = eng.call_in(10, lambda: fired.append(1))
+    eng.run_until(100)
+    assert fired == [1]
+    before = eng.pending()
+    ev.cancel()  # already popped: must not corrupt the pending count
+    ev.cancel()  # idempotent
+    assert eng.pending() == before == 0
+
+
+def test_cancel_from_inside_callback_same_instant():
+    """A callback cancelling a later event at the same timestamp wins."""
+    eng = Engine()
+    fired = []
+    evs = {}
+    evs["b"] = None
+
+    def first():
+        fired.append("a")
+        evs["b"].cancel()
+
+    eng.call_in(10, first)
+    evs["b"] = eng.call_in(10, lambda: fired.append("b"))
+    eng.run_until(100)
+    assert fired == ["a"]
+
+
+def test_stop_mid_run_then_resume():
+    eng = Engine()
+    fired = []
+    eng.call_in(10, lambda: (fired.append(1), eng.stop()))
+    eng.call_in(20, lambda: fired.append(2))
+    eng.run_until(100)
+    assert fired == [1]
+    assert eng.now == 100  # clock still advances to the deadline
+    assert eng.pending() == 1  # the unprocessed event survives stop()
+    eng.run_until(100)  # a fresh run resumes where stop() left off
+    assert fired == [1, 2]
+    assert eng.pending() == 0
+
+
+def test_scheduling_at_now_is_allowed():
+    eng = Engine()
+    eng.run_until(50)
+    fired = []
+    eng.call_at(50, lambda: fired.append(1))
+    eng.run_until(50)
+    assert fired == [1]
+
+
+def test_compaction_preserves_order_and_pending():
+    """Mass cancellation triggers compaction; survivors still fire in
+    (time, seq) order and pending() stays exact throughout."""
+    eng = Engine()
+    fired = []
+    keep, drop = [], []
+    for i in range(300):
+        ev = eng.call_in(1000 + i, lambda i=i: fired.append(i))
+        (keep if i % 5 == 0 else drop).append((i, ev))
+    assert eng.pending() == 300
+    for _, ev in drop:
+        ev.cancel()  # 240 cancels: crosses the compaction threshold
+    assert eng.pending() == len(keep)
+    # Compaction ran (possibly more than once); at most a sub-threshold
+    # residue of dead entries may remain in the heap.
+    assert len(eng._heap) < 300
+    assert len(eng._heap) - len(keep) < 64
+    eng.run_until(SEC)
+    assert fired == [i for i, _ in keep]
+    assert eng.pending() == 0
+
+
+def test_compaction_same_timestamp_tiebreak():
+    """Cancel-heavy churn at one instant must not disturb insertion order."""
+    eng = Engine()
+    fired = []
+    survivors = []
+    for i in range(200):
+        ev = eng.call_at(777, lambda i=i: fired.append(i))
+        if i % 3 == 0:
+            survivors.append(i)
+        else:
+            ev.cancel()
+    eng.run_until(777)
+    assert fired == survivors
+
+
+def test_pending_exact_through_mixed_churn():
+    eng = Engine()
+    events = [eng.call_in(i + 1, lambda: None) for i in range(50)]
+    assert eng.pending() == 50
+    for ev in events[::2]:
+        ev.cancel()
+    assert eng.pending() == 25
+    eng.run_until(10)  # fires the live half of the first 10
+    assert eng.pending() == 20
+    eng.run_until(SEC)
+    assert eng.pending() == 0
+
+
+def test_events_fired_counters():
+    base = Engine.total_events_fired
+    eng = Engine()
+    for i in range(7):
+        eng.call_in(i + 1, lambda: None)
+    eng.run_until(100)
+    assert eng.events_fired == 7
+    assert Engine.total_events_fired - base == 7

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Benchmark the experiment catalogue: wall-clock, events fired, events/sec.
+
+Runs each experiment (fast mode recommended) and writes a JSON report,
+``BENCH_<YYYYMMDD>.json`` by default, so engine-hot-path changes can be
+compared run over run.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py --fast
+    PYTHONPATH=src python tools/bench.py --fast --experiments fig2,fig14
+    PYTHONPATH=src python tools/bench.py --fast --jobs 4 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+
+if __package__ is None or __package__ == "":
+    # Allow running without PYTHONPATH=src from the repo root.
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro.experiments import parallel
+from repro.experiments.cli import ALL_ORDER
+from repro.experiments.common import check_experiment, run_experiment
+from repro.sim.engine import Engine
+
+
+def bench_one(exp_id: str, fast: bool, check: bool) -> dict:
+    events0 = Engine.total_events_fired
+    started = time.perf_counter()
+    error = None
+    try:
+        table = run_experiment(exp_id, fast=fast)
+        if check:
+            check_experiment(exp_id, table)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+        error = f"{type(exc).__name__}: {exc}"
+    wall = time.perf_counter() - started
+    events = Engine.total_events_fired - events0
+    return {
+        "exp_id": exp_id,
+        "wall_s": round(wall, 3),
+        "events_fired": events,
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "error": error,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the experiment catalogue and emit a JSON report.")
+    parser.add_argument("--fast", action="store_true",
+                        help="shrunken workloads (recommended)")
+    parser.add_argument("--experiments", default=None, metavar="IDS",
+                        help="comma-separated experiment ids "
+                             "(default: the full catalogue)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scenario-sweep worker processes per experiment")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_<YYYYMMDD>.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="run shape checks; exit nonzero on any failure")
+    args = parser.parse_args(argv)
+
+    ids = (args.experiments.split(",") if args.experiments else ALL_ORDER)
+    ids = [i.strip() for i in ids if i.strip()]
+    parallel.set_default_jobs(args.jobs)
+
+    results = []
+    for exp_id in ids:
+        res = bench_one(exp_id, fast=args.fast, check=args.check)
+        status = res["error"] or "ok"
+        print(f"{exp_id:8s} {res['wall_s']:8.2f}s "
+              f"{res['events_fired']:>12,d} ev "
+              f"{res['events_per_sec']:>10,d} ev/s  [{status}]", flush=True)
+        results.append(res)
+
+    report = {
+        "date": datetime.date.today().isoformat(),
+        "fast": args.fast,
+        "jobs": args.jobs,
+        "python": platform.python_version(),
+        "total_wall_s": round(sum(r["wall_s"] for r in results), 3),
+        "total_events_fired": sum(r["events_fired"] for r in results),
+        "experiments": results,
+    }
+    out = args.out or f"BENCH_{datetime.date.today():%Y%m%d}.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}: {report['total_wall_s']:.1f}s total, "
+          f"{report['total_events_fired']:,d} events")
+
+    failures = [r["exp_id"] for r in results if r["error"]]
+    if failures:
+        print(f"FAILURES: {failures}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
