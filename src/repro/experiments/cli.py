@@ -4,13 +4,17 @@ Usage::
 
     vsched-repro list
     vsched-repro run fig2 [--fast]
-    vsched-repro run all [--fast] [--jobs N] [--out results.txt [--append]]
+    vsched-repro run fig2,fig14 [--fast]
+    vsched-repro run all [--fast] [--jobs N] [--cache] [--out results.txt]
 
-``--jobs N`` fans work out over N worker processes: ``run all`` runs whole
-experiments in parallel; a single experiment parallelizes its scenario
-sweep (where the experiment has been migrated onto
-:func:`repro.experiments.parallel.run_scenarios`).  Parallel runs render
-byte-identically to serial ones — see ``docs/INTERNALS.md`` §8.
+``--jobs N`` fans work out over N worker processes through the flat
+work-unit scheduler: every experiment decomposes into independent scenario
+units, one pool runs all units longest-first, and tables stream back in
+presentation order — so ``run all --jobs N`` parallelizes *inside* the
+heavy experiments, not just across them.  ``--cache`` layers the
+content-addressed result cache underneath: a rerun on an unchanged tree
+recomputes nothing.  Parallel and warm-cache runs render byte-identically
+to serial ones — see ``docs/INTERNALS.md`` §8–§9.
 """
 
 from __future__ import annotations
@@ -21,6 +25,13 @@ import time
 from typing import List, Optional
 
 from repro.experiments import parallel
+from repro.experiments.cache import (
+    CACHE_DIR_ENV_VAR,
+    CACHE_ENV_VAR,
+    ResultCache,
+    cache_enabled_by_env,
+    default_cache_dir,
+)
 from repro.experiments.common import (
     EXPERIMENTS,
     check_experiment,
@@ -40,8 +51,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "the simulated substrate.")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
-    runp = sub.add_parser("run", help="run one experiment (or 'all')")
-    runp.add_argument("experiment", help="experiment id (e.g. fig2) or 'all'")
+    runp = sub.add_parser("run", help="run experiments ('all', one id, or "
+                                      "a comma-separated list)")
+    runp.add_argument("experiment",
+                      help="experiment id (e.g. fig2), a comma-separated "
+                           "list (fig2,fig14), or 'all'")
     runp.add_argument("--fast", action="store_true",
                       help="shrunken workloads (seconds instead of minutes)")
     runp.add_argument("--no-check", action="store_true",
@@ -49,6 +63,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     runp.add_argument("--jobs", type=int, default=None, metavar="N",
                       help="worker processes (default 1, or "
                            f"${parallel.JOBS_ENV_VAR})")
+    cachep = runp.add_mutually_exclusive_group()
+    cachep.add_argument("--cache", dest="cache", action="store_true",
+                        default=None,
+                        help="reuse cached work-unit results and store new "
+                             f"ones (default off, or ${CACHE_ENV_VAR}=1)")
+    cachep.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="force caching off even if the environment "
+                             "enables it")
+    runp.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="result cache directory (default "
+                           f"{default_cache_dir()!r}, or "
+                           f"${CACHE_DIR_ENV_VAR})")
     runp.add_argument("--out", default=None,
                       help="also write rendered tables to this file "
                            "(truncated unless --append)")
@@ -62,16 +88,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     jobs = args.jobs if args.jobs is not None else parallel.default_jobs()
-    ids = ALL_ORDER if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        ids = ALL_ORDER
+    else:
+        ids = [i.strip() for i in args.experiment.split(",") if i.strip()]
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {exp_id!r}; "
+                           f"known: {sorted(EXPERIMENTS)}")
+
+    cache_on = args.cache if args.cache is not None else cache_enabled_by_env()
+    cache = ResultCache(args.cache_dir) if cache_on else None
+
     out_fh = open(args.out, "a" if args.append else "w") if args.out else None
     try:
-        if args.experiment == "all" and jobs > 1:
-            failures = _run_campaign(ids, args, jobs, out_fh)
+        if jobs > 1 or cache is not None:
+            failures = _run_flat(ids, args, jobs, out_fh, cache)
         else:
             failures = _run_serial(ids, args, jobs, out_fh)
     finally:
         if out_fh:
             out_fh.close()
+    if cache is not None:
+        print(cache.summary(), flush=True)
     if failures:
         print(f"shape-check failures: {failures}")
         return 1
@@ -102,20 +141,25 @@ def _run_serial(ids: List[str], args, jobs: int, out_fh) -> List[str]:
     return failures
 
 
-def _run_campaign(ids: List[str], args, jobs: int, out_fh) -> List[str]:
-    """Whole experiments across worker processes, streamed in paper order."""
+def _run_flat(ids: List[str], args, jobs: int, out_fh,
+              cache) -> List[str]:
+    """Flat work-unit scheduler, streamed in presentation order."""
     failures = []
-    for res in parallel.run_campaign(ids, fast=args.fast,
-                                     check=not args.no_check, jobs=jobs):
+    for res in parallel.run_units(ids, fast=args.fast,
+                                  check=not args.no_check, jobs=jobs,
+                                  cache=cache):
         print(f"--- running {res.exp_id} "
               f"({'fast' if args.fast else 'full'}) ---", flush=True)
         print(res.rendered, flush=True)
         if out_fh:
             out_fh.write(res.rendered + "\n\n")
             out_fh.flush()
+        detail = f"{res.n_units} units, {res.cache_hits} cached, " \
+            if (cache is not None or res.n_units > 1) else ""
         if not args.no_check:
             if res.ok:
-                print(f"[shape check OK, {res.wall_s:.0f}s]\n")
+                print(f"[shape check OK, {detail}{res.wall_s:.0f}s "
+                      f"compute]\n")
             else:
                 failures.append(res.exp_id)
                 print(f"[SHAPE CHECK FAILED: {res.check_error}]\n")

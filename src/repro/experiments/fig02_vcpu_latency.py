@@ -17,8 +17,10 @@ from repro.cluster import (
     overcommit_with_stress,
     run_to_completion,
 )
+from typing import List
+
 from repro.experiments.common import Table
-from repro.experiments.parallel import run_scenarios
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import BestEffortFiller, LatencyWorkload
 
@@ -43,9 +45,22 @@ def _one_run(bench: str, latency_ms: int, best_effort: bool,
     return wl.p95_ns()
 
 
-def run(fast: bool = False) -> Table:
+def scenarios(fast: bool) -> List[WorkUnit]:
     n_vcpus = 8 if fast else 32
     n_requests = 120 if fast else 400
+    cost = 0.1 if fast else 1.0
+    return [WorkUnit(exp_id="fig2",
+                     label=f"{bench}-{ms}ms-{'be' if best_effort else 'nobe'}",
+                     func=_one_run,
+                     config=(bench, ms, best_effort, n_vcpus, n_requests),
+                     cost_hint=cost,
+                     seed=f"fig2-{bench}-{ms}-{best_effort}")
+            for best_effort in (False, True)
+            for bench in BENCHMARKS
+            for ms in LATENCIES_MS]
+
+
+def assemble(fast: bool, results: List[float]) -> Table:
     table = Table(
         exp_id="fig2",
         title="Impact of vCPU latency on p95 tail latency "
@@ -54,20 +69,19 @@ def run(fast: bool = False) -> Table:
         paper_expectation="p95 grows up to 20x from 2 ms to 16 ms vCPU "
                           "latency in both scenarios",
     )
-    configs = [(bench, ms, best_effort, n_vcpus, n_requests)
-               for best_effort in (False, True)
-               for bench in BENCHMARKS
-               for ms in LATENCIES_MS]
-    p95 = dict(zip(configs, run_scenarios(_one_run, configs)))
+    it = iter(results)
     for best_effort in (False, True):
         scenario = "with best-effort" if best_effort else "no best-effort"
         for bench in BENCHMARKS:
-            raw = {ms: p95[(bench, ms, best_effort, n_vcpus, n_requests)]
-                   for ms in LATENCIES_MS}
+            raw = {ms: next(it) for ms in LATENCIES_MS}
             base = raw[16]
             table.add(scenario, bench,
                       *(100.0 * raw[ms] / base for ms in LATENCIES_MS))
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

@@ -21,16 +21,21 @@ work-conserving).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
 from repro.experiments.common import Table
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.guest.task import Policy
 from repro.hypervisor.entity import weight_for_nice
 from repro.sim.engine import MSEC, SEC, USEC
 from repro.workloads import build_parsec
 
 BENCHMARKS = ("canneal", "dedup", "streamcluster")
+CASES = ("straggler", "stacking", "priority-inversion")
+#: Case name -> seed letter (kept from the pre-work-unit seeds so tables
+#: render byte-identically across the migration).
+_CASE_SEED = {"straggler": "s", "stacking": "k", "priority-inversion": "p"}
 
 
 def _straggler_env():
@@ -77,8 +82,48 @@ def _run_case(env, benchmark: str, threads: int, scale: float,
     return 1e12 / wl.elapsed_ns()
 
 
-def run(fast: bool = False) -> Table:
+def _scenario(case: str, bench: str, variant: str, fast: bool) -> float:
+    """Work-unit body: one (case, benchmark, wc/nwc) placement run.
+
+    Priority inversion: best-effort work runs on one vCPU of each stack.
+    Work-conserving placement spreads the benchmark onto the *other* stack
+    members, so the host arbitrates between the stacked vCPUs and the
+    low-priority work steals half the core.  The non-work-conserving run
+    excludes the vCPUs that do NOT run the best-effort work: the benchmark
+    lands on the same vCPUs, where guest priorities are enforced.
+    """
     scale = 0.12 if fast else 0.5
+    seed = f"fig4-{_CASE_SEED[case]}-{bench}-{variant}"
+    nwc = variant == "nwc"
+    if case == "straggler":
+        return _run_case(_straggler_env(), bench, threads=16, scale=scale,
+                         excluded={0} if nwc else None,
+                         best_effort_on=None, seed=seed)
+    if case == "stacking":
+        return _run_case(_build_stacked(), bench, threads=16, scale=scale,
+                         excluded={2 * k + 1 for k in range(8)} if nwc
+                         else None,
+                         best_effort_on=None, seed=seed)
+    if case == "priority-inversion":
+        be_cpus = [2 * k + 1 for k in range(8)]
+        return _run_case(_build_stacked(), bench, threads=8, scale=scale,
+                         excluded={2 * k for k in range(8)} if nwc else None,
+                         best_effort_on=be_cpus, seed=seed)
+    raise KeyError(case)
+
+
+def scenarios(fast: bool) -> List[WorkUnit]:
+    cost = 0.4 if fast else 2.0
+    return [WorkUnit(exp_id="fig4", label=f"{case}-{bench}-{variant}",
+                     func=_scenario, config=(case, bench, variant, fast),
+                     cost_hint=cost,
+                     seed=f"fig4-{_CASE_SEED[case]}-{bench}-{variant}")
+            for case in CASES
+            for bench in BENCHMARKS
+            for variant in ("wc", "nwc")]
+
+
+def assemble(fast: bool, results: List[float]) -> Table:
     table = Table(
         exp_id="fig4",
         title="Work-conserving vs non-work-conserving placement "
@@ -88,43 +133,16 @@ def run(fast: bool = False) -> Table:
         paper_expectation="leaving straggler/stacked vCPUs idle wins by up "
                           "to 43% / 30% / 6.7x (priority inversion)",
     )
-    # --- straggler -----------------------------------------------------
-    for bench in BENCHMARKS:
-        wc = _run_case(_straggler_env(), bench, threads=16, scale=scale,
-                       excluded=None, best_effort_on=None,
-                       seed=f"fig4-s-{bench}-wc")
-        nwc = _run_case(_straggler_env(), bench, threads=16, scale=scale,
-                        excluded={0}, best_effort_on=None,
-                        seed=f"fig4-s-{bench}-nwc")
-        table.add("straggler", bench, 100.0 * wc / nwc, 100.0)
-    # --- stacking --------------------------------------------------------
-    for bench in BENCHMARKS:
-        wc = _run_case(_build_stacked(), bench, threads=16, scale=scale,
-                       excluded=None, best_effort_on=None,
-                       seed=f"fig4-k-{bench}-wc")
-        nwc = _run_case(_build_stacked(), bench, threads=16, scale=scale,
-                        excluded={2 * k + 1 for k in range(8)},
-                        best_effort_on=None, seed=f"fig4-k-{bench}-nwc")
-        table.add("stacking", bench, 100.0 * wc / nwc, 100.0)
-    # --- priority inversion ----------------------------------------------
-    # Best-effort work runs on one vCPU of each stack.  Work-conserving
-    # placement spreads the benchmark onto the *other* stack members, so
-    # the host arbitrates between the stacked vCPUs and the low-priority
-    # work steals half the core (priority inversion).  The
-    # non-work-conserving run excludes the vCPUs that do NOT run the
-    # best-effort work: the benchmark lands on the same vCPUs, where guest
-    # priorities are enforced.
-    for bench in BENCHMARKS:
-        be_cpus = [2 * k + 1 for k in range(8)]
-        other_cpus = {2 * k for k in range(8)}
-        wc = _run_case(_build_stacked(), bench, threads=8, scale=scale,
-                       excluded=None, best_effort_on=be_cpus,
-                       seed=f"fig4-p-{bench}-wc")
-        nwc = _run_case(_build_stacked(), bench, threads=8, scale=scale,
-                        excluded=other_cpus, best_effort_on=be_cpus,
-                        seed=f"fig4-p-{bench}-nwc")
-        table.add("priority-inversion", bench, 100.0 * wc / nwc, 100.0)
+    it = iter(results)
+    for case in CASES:
+        for bench in BENCHMARKS:
+            wc, nwc = next(it), next(it)
+            table.add(case, bench, 100.0 * wc / nwc, 100.0)
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

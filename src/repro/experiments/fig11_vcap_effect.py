@@ -14,13 +14,19 @@ removes them (paper: 74% fewer migrations, +4% throughput).
 
 from __future__ import annotations
 
+from typing import List, Tuple
+
 from repro.cluster import attach_scheduler, build_plain_vm, make_context
 from repro.experiments.common import Table
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.guest.task import TaskState
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import SysbenchCpu
 
 VCAP_ONLY = {"enable_vtop": False, "enable_rwc": False}
+
+SCENARIOS = (("asymmetric", True), ("symmetric", False))
+CONFIGS = (("CFS", False), ("CFS+vcap", True))
 
 
 def _build(asymmetric: bool):
@@ -80,8 +86,24 @@ def _run(asymmetric: bool, vcap: bool, duration_ns: int, seed: str):
     return events, migrations, residency
 
 
-def run(fast: bool = False) -> Table:
+def _scenario(scenario: str, config: str, fast: bool) -> Tuple:
+    """Work-unit body: one (capacity scenario, scheduler config) run."""
     duration = (10 if fast else 40) * SEC
+    asym = dict(SCENARIOS)[scenario]
+    vcap = dict(CONFIGS)[config]
+    return _run(asym, vcap, duration, seed=f"fig11-{scenario}-{config}")
+
+
+def scenarios(fast: bool) -> List[WorkUnit]:
+    cost = 2.3 if fast else 9.0
+    return [WorkUnit(exp_id="fig11", label=f"{scenario}-{config}",
+                     func=_scenario, config=(scenario, config, fast),
+                     cost_hint=cost, seed=f"fig11-{scenario}-{config}")
+            for scenario, _asym in SCENARIOS
+            for config, _vcap in CONFIGS]
+
+
+def assemble(fast: bool, results: List[Tuple]) -> Table:
     table = Table(
         exp_id="fig11",
         title="Impact of accurate vCPU capacity (Sysbench, 4 threads)",
@@ -90,13 +112,17 @@ def run(fast: bool = False) -> Table:
         paper_expectation="asymmetric: residency 44%->81%, +32% throughput; "
                           "symmetric: 74% fewer migrations, +4% throughput",
     )
-    for scenario, asym in (("asymmetric", True), ("symmetric", False)):
-        for config, vcap in (("CFS", False), ("CFS+vcap", True)):
-            ev, mig, res = _run(asym, vcap, duration,
-                                seed=f"fig11-{scenario}-{config}")
+    it = iter(results)
+    for scenario, asym in SCENARIOS:
+        for config, _vcap in CONFIGS:
+            ev, mig, res = next(it)
             table.add(scenario, config, ev, mig / 4.0,
                       res if asym else float("nan"))
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

@@ -11,11 +11,11 @@ paper).  Metrics are normalized to the vtop-enabled run.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
 from repro.experiments.common import Table
-from repro.experiments.parallel import run_scenarios
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.metrics import CycleMeter
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import Hackbench
@@ -74,7 +74,17 @@ def _run(bench: str, vtop: bool, fast: bool) -> Dict[str, float]:
     }
 
 
-def run(fast: bool = False) -> Table:
+def scenarios(fast: bool) -> List[WorkUnit]:
+    cost = 0.3 if fast else 1.5
+    return [WorkUnit(exp_id="fig13",
+                     label=f"{bench}-{'vtop' if vtop else 'cfs'}",
+                     func=_run, config=(bench, vtop, fast), cost_hint=cost,
+                     seed=f"fig13-{bench}-{vtop}")
+            for bench in ("dedup", "nginx", "hackbench")
+            for vtop in (False, True)]
+
+
+def assemble(fast: bool, results: List[Dict[str, float]]) -> Table:
     table = Table(
         exp_id="fig13",
         title="LLC-aware optimizations with vtop "
@@ -83,17 +93,17 @@ def run(fast: bool = False) -> Table:
         paper_expectation="vtop: ~26% higher throughput, +14.5% IPC, "
                           "up to 99% fewer IPIs",
     )
-    configs = [(bench, vtop, fast)
-               for bench in ("dedup", "nginx", "hackbench")
-               for vtop in (False, True)]
-    results = dict(zip(configs, run_scenarios(_run, configs)))
+    it = iter(results)
     for bench in ("dedup", "nginx", "hackbench"):
-        base = results[(bench, False, fast)]
-        w = results[(bench, True, fast)]
+        base, w = next(it), next(it)
         table.add(bench, "throughput", 100.0 * base["throughput"] / w["throughput"], 100.0)
         table.add(bench, "ipc", 100.0 * base["ipc"] / w["ipc"], 100.0)
         table.add(bench, "ipi", 100.0 * base["ipis"] / max(1.0, w["ipis"]), 100.0)
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

@@ -10,11 +10,11 @@ reduction in p95 tail latency.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
 from repro.experiments.common import Table
-from repro.experiments.parallel import run_scenarios
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import BestEffortFiller, LatencyWorkload
 
@@ -62,8 +62,22 @@ def _scenario_p95(bench: str, bvs: bool, best_effort: bool,
     return run_one(bench, bvs, best_effort, n_requests).p95_ns()
 
 
-def run(fast: bool = False) -> Table:
+def scenarios(fast: bool) -> List[WorkUnit]:
     n_requests = 150 if fast else 400
+    cost = 0.75 if fast else 2.0
+    return [WorkUnit(exp_id="fig14",
+                     label=f"{bench}-{'bvs' if bvs else 'nobvs'}-"
+                           f"{'be' if best_effort else 'nobe'}",
+                     func=_scenario_p95,
+                     config=(bench, bvs, best_effort, n_requests),
+                     cost_hint=cost,
+                     seed=f"fig14-{bench}-{bvs}-{best_effort}")
+            for best_effort in (False, True)
+            for bench in BENCHMARKS
+            for bvs in (False, True)]
+
+
+def assemble(fast: bool, results: List[float]) -> Table:
     table = Table(
         exp_id="fig14",
         title="bvs p95 tail latency (normalized to bvs disabled; lower is "
@@ -71,19 +85,18 @@ def run(fast: bool = False) -> Table:
         columns=["scenario", "benchmark", "no_bvs_ms", "bvs_ms", "bvs_pct"],
         paper_expectation="bvs reduces p95 tail latency by 42% on average",
     )
-    configs = [(bench, bvs, best_effort, n_requests)
-               for best_effort in (False, True)
-               for bench in BENCHMARKS
-               for bvs in (False, True)]
-    p95 = dict(zip(configs, run_scenarios(_scenario_p95, configs)))
+    it = iter(results)
     for best_effort in (False, True):
         scenario = "with best-effort" if best_effort else "no best-effort"
         for bench in BENCHMARKS:
-            base = p95[(bench, False, best_effort, n_requests)]
-            with_bvs = p95[(bench, True, best_effort, n_requests)]
+            base, with_bvs = next(it), next(it)
             table.add(scenario, bench, base / MSEC, with_bvs / MSEC,
                       100.0 * with_bvs / base)
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

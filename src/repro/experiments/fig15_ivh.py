@@ -13,6 +13,7 @@ from typing import Dict, List
 
 from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to_completion
 from repro.experiments.common import Table
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import Pbzip2, build_parsec
 
@@ -51,10 +52,28 @@ def _elapsed(bench: str, threads: int, ivh: bool, scale: float) -> int:
     return wl.elapsed_ns()
 
 
-def run(fast: bool = False) -> Table:
+def _params(fast: bool):
     benchmarks = FAST_BENCHMARKS if fast else FULL_BENCHMARKS
     threads_list = FAST_THREADS if fast else FULL_THREADS
     scale = 0.2 if fast else 0.4
+    return benchmarks, threads_list, scale
+
+
+def scenarios(fast: bool) -> List[WorkUnit]:
+    benchmarks, threads_list, scale = _params(fast)
+    cost = 0.4 if fast else 2.0
+    return [WorkUnit(exp_id="fig15", label=f"{bench}-{threads}-"
+                     f"{'ivh' if ivh else 'noivh'}",
+                     func=_elapsed, config=(bench, threads, ivh, scale),
+                     cost_hint=cost,
+                     seed=f"fig15-{bench}-{threads}-{ivh}")
+            for bench in benchmarks
+            for threads in threads_list
+            for ivh in (False, True)]
+
+
+def assemble(fast: bool, results: List[int]) -> Table:
+    benchmarks, threads_list, _scale = _params(fast)
     table = Table(
         exp_id="fig15",
         title="Throughput improvement with ivh vs ivh disabled (%)",
@@ -62,14 +81,18 @@ def run(fast: bool = False) -> Table:
         paper_expectation="up to 82% with few threads; ~17% average even "
                           "with 16 threads",
     )
+    it = iter(results)
     for bench in benchmarks:
         improvements = []
-        for threads in threads_list:
-            base = _elapsed(bench, threads, False, scale)
-            with_ivh = _elapsed(bench, threads, True, scale)
+        for _threads in threads_list:
+            base, with_ivh = next(it), next(it)
             improvements.append(100.0 * (base - with_ivh) / with_ivh)
         table.add(bench, *improvements)
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

@@ -22,11 +22,13 @@ from typing import Dict, List
 
 from repro.cluster import attach_scheduler, build_plain_vm, make_context
 from repro.experiments.common import Table
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.hypervisor.entity import weight_for_nice
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import NginxServer
 
 PHASES = ("dedicated", "overcommitted", "asymmetric", "constrained")
+MODES = ("cfs", "vsched")
 
 
 def _run(mode: str, phase_ns: int, seed: str) -> Dict[str, float]:
@@ -81,8 +83,22 @@ def _run(mode: str, phase_ns: int, seed: str) -> Dict[str, float]:
     return result
 
 
-def run(fast: bool = False) -> Table:
+def _scenario(mode: str, fast: bool) -> Dict[str, float]:
+    """Work-unit body: one full four-phase run under one scheduler."""
     phase_ns = (15 if fast else 30) * SEC
+    return _run(mode, phase_ns, f"fig16-{mode}")
+
+
+def scenarios(fast: bool) -> List[WorkUnit]:
+    cost = 14.0 if fast else 28.0
+    return [WorkUnit(exp_id="fig16", label=mode, func=_scenario,
+                     config=(mode, fast), cost_hint=cost,
+                     seed=f"fig16-{mode}")
+            for mode in MODES]
+
+
+def assemble(fast: bool, results: List[Dict[str, float]]) -> Table:
+    cfs, vsched = results
     table = Table(
         exp_id="fig16",
         title="Nginx live throughput across host phases (requests/s)",
@@ -91,12 +107,14 @@ def run(fast: bool = False) -> Table:
                           "under overcommit/asymmetry and recovers quickly "
                           "when constrained",
     )
-    cfs = _run("cfs", phase_ns, "fig16-cfs")
-    vsched = _run("vsched", phase_ns, "fig16-vsched")
     for phase in PHASES:
         gain = 100.0 * (vsched[phase] - cfs[phase]) / max(1.0, cfs[phase])
         table.add(phase, cfs[phase], vsched[phase], gain)
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

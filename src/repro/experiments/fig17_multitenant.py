@@ -22,6 +22,7 @@ from repro.cluster import attach_scheduler, make_context
 from repro.cluster.vmtypes import VmEnvironment
 from repro.core.vsched import VSched, VSchedConfig
 from repro.experiments.common import Table
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.guest.kernel import GuestKernel
 from repro.hw.topology import HostTopology
 from repro.hypervisor.machine import Machine
@@ -113,8 +114,22 @@ def _run(mode: str, phase_ns: int) -> Dict[str, float]:
     return results
 
 
-def run(fast: bool = False) -> Table:
+def _scenario(mode: str, fast: bool) -> Dict[str, float]:
+    """Work-unit body: one three-phase multi-tenant run per scheduler."""
     phase_ns = (16 if fast else 40) * SEC
+    return _run(mode, phase_ns)
+
+
+def scenarios(fast: bool) -> List[WorkUnit]:
+    cost = 22.0 if fast else 55.0
+    return [WorkUnit(exp_id="fig17", label=mode, func=_scenario,
+                     config=(mode, fast), cost_hint=cost,
+                     seed=f"fig17-{mode}")
+            for mode in ("cfs", "vsched")]
+
+
+def assemble(fast: bool, results: List[Dict[str, float]]) -> Table:
+    cfs, vsched = results
     table = Table(
         exp_id="fig17",
         title="Multi-tenant host: Nginx throughput and neighbour impact",
@@ -122,8 +137,6 @@ def run(fast: bool = False) -> Table:
         paper_expectation="vSched: +15% (intermittent), +24% (consistent), "
                           "~equal (transient); neighbour degradation ~1-2%",
     )
-    cfs = _run("cfs", phase_ns)
-    vsched = _run("vsched", phase_ns)
     for phase in PHASES:
         delta = 100.0 * (vsched[phase] - cfs[phase]) / max(1.0, cfs[phase])
         table.add(f"nginx_{phase}_rps", cfs[phase], vsched[phase], delta)
@@ -132,6 +145,10 @@ def run(fast: bool = False) -> Table:
         table.add(f"{key.split('_')[0]}_degradation_pct",
                   0.0, degradation, degradation)
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

@@ -8,19 +8,26 @@ latency / +69% throughput.
 
 from __future__ import annotations
 
-from repro.cluster import build_rcvm
+from typing import List
+
 from repro.experiments.common import Table
-from repro.experiments.overall import check_overall, geometric_means, run_overall
+from repro.experiments.overall import (
+    check_overall,
+    geometric_means,
+    overall_assemble,
+    overall_scenarios,
+)
+from repro.experiments.units import WorkUnit, execute_serial
+
+TITLE = "rcvm: normalized performance vs CFS (higher is better)"
 
 
-def run(fast: bool = False) -> Table:
-    table = run_overall(
-        exp_id="fig18",
-        title="rcvm: normalized performance vs CFS (higher is better)",
-        builder=build_rcvm,
-        threads=12,
-        fast=fast,
-    )
+def scenarios(fast: bool) -> List[WorkUnit]:
+    return overall_scenarios("fig18", vm="rcvm", threads=12, fast=fast)
+
+
+def assemble(fast: bool, results: List[float]) -> Table:
+    table = overall_assemble("fig18", TITLE, fast, results)
     means = geometric_means(table)
     table.notes.append(
         "geomean throughput: enhanced %.0f%%, vSched %.0f%% (paper: +59%%/+69%%)"
@@ -29,6 +36,10 @@ def run(fast: bool = False) -> Table:
         "geomean latency perf: enhanced %.0f%%, vSched %.0f%% (paper: 1.4x/1.6x)"
         % (means["latency"]["enhanced"], means["latency"]["vsched"]))
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

@@ -9,19 +9,26 @@ latency side (bvs can exploit the dedicated vCPU group).
 
 from __future__ import annotations
 
-from repro.cluster import build_hpvm
+from typing import List
+
 from repro.experiments.common import Table
-from repro.experiments.overall import check_overall, geometric_means, run_overall
+from repro.experiments.overall import (
+    check_overall,
+    geometric_means,
+    overall_assemble,
+    overall_scenarios,
+)
+from repro.experiments.units import WorkUnit, execute_serial
+
+TITLE = "hpvm: normalized performance vs CFS (higher is better)"
 
 
-def run(fast: bool = False) -> Table:
-    table = run_overall(
-        exp_id="fig19",
-        title="hpvm: normalized performance vs CFS (higher is better)",
-        builder=build_hpvm,
-        threads=32,
-        fast=fast,
-    )
+def scenarios(fast: bool) -> List[WorkUnit]:
+    return overall_scenarios("fig19", vm="hpvm", threads=32, fast=fast)
+
+
+def assemble(fast: bool, results: List[float]) -> Table:
+    table = overall_assemble("fig19", TITLE, fast, results)
     means = geometric_means(table)
     table.notes.append(
         "geomean throughput: enhanced %.0f%%, vSched %.0f%% (paper: +13%%/+18%%)"
@@ -30,6 +37,10 @@ def run(fast: bool = False) -> Table:
         "geomean latency perf: enhanced %.0f%%, vSched %.0f%% (paper: 1.5x/2.3x)"
         % (means["latency"]["enhanced"], means["latency"]["vsched"]))
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

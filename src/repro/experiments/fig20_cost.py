@@ -11,16 +11,19 @@ small while tail latency plummets.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Tuple
 
 from repro.cluster import attach_scheduler, build_hpvm, build_rcvm, make_context, run_to_completion
 from repro.experiments.common import Table
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.metrics import CycleMeter
 from repro.sim.engine import SEC
 from repro.workloads import build_workload
 
 THROUGHPUT = ("bodytrack", "swaptions", "lu_cb")
 LATENCY = ("img-dnn", "specjbb", "sphinx")
+
+VM_BUILDERS = {"rcvm": build_rcvm, "hpvm": build_hpvm}
 
 
 def _measure(builder: Callable, name: str, mode: str, threads: int,
@@ -38,12 +41,40 @@ def _measure(builder: Callable, name: str, mode: str, threads: int,
     return {"cycles": float(sample.cycles), "cps": sample.cps}
 
 
-def run(fast: bool = False) -> Table:
+def _vm_list(fast: bool) -> List[Tuple[str, int]]:
+    vms = [("hpvm", 32)]
+    if not fast:
+        vms.append(("rcvm", 12))
+    return vms
+
+
+def _scenario(vm: str, name: str, mode: str, fast: bool) -> Dict[str, float]:
+    """Work-unit body: one (vm, benchmark, scheduler) cycle measurement."""
     scale = 0.12 if fast else 0.3
     n_requests = 120 if fast else 400
-    vms = [("hpvm", build_hpvm, 32)]
-    if not fast:
-        vms.append(("rcvm", build_rcvm, 12))
+    threads = dict(_vm_list(fast))[vm]
+    # Seed suffixes kept from the pre-work-unit code ("cfs"/"vs") so the
+    # tables render byte-identically across the migration.
+    seed = f"fig20-{vm}-{name}-{'cfs' if mode == 'cfs' else 'vs'}"
+    return _measure(VM_BUILDERS[vm], name, mode, threads, scale,
+                    n_requests, seed)
+
+
+def scenarios(fast: bool) -> List[WorkUnit]:
+    cost = 0.6 if fast else 3.0
+    return [WorkUnit(exp_id="fig20", label=f"{vm}-{name}-{mode}",
+                     func=_scenario, config=(vm, name, mode, fast),
+                     cost_hint=cost,
+                     seed=f"fig20-{vm}-{name}-"
+                          f"{'cfs' if mode == 'cfs' else 'vs'}")
+            for vm, _threads in _vm_list(fast)
+            for kind, names in (("throughput", THROUGHPUT),
+                                ("latency", LATENCY))
+            for name in names
+            for mode in ("cfs", "vsched")]
+
+
+def assemble(fast: bool, results: List[Dict[str, float]]) -> Table:
     table = Table(
         exp_id="fig20",
         title="vSched cost: VM cycles and cycles/second vs CFS",
@@ -53,17 +84,19 @@ def run(fast: bool = False) -> Table:
                           "higher CPS; latency workloads: larger relative "
                           "cycle increase from a ~8x lower CPS baseline",
     )
-    for vm_name, builder, threads in vms:
+    it = iter(results)
+    for vm_name, _threads in _vm_list(fast):
         for kind, names in (("throughput", THROUGHPUT), ("latency", LATENCY)):
             for name in names:
-                base = _measure(builder, name, "cfs", threads, scale,
-                                n_requests, f"fig20-{vm_name}-{name}-cfs")
-                vs = _measure(builder, name, "vsched", threads, scale,
-                              n_requests, f"fig20-{vm_name}-{name}-vs")
+                base, vs = next(it), next(it)
                 table.add(vm_name, name, kind,
                           100.0 * vs["cycles"] / max(1.0, base["cycles"]),
                           100.0 * vs["cps"] / max(1e-9, base["cps"]))
     return table
+
+
+def run(fast: bool = False) -> Table:
+    return assemble(fast, execute_serial(scenarios(fast)))
 
 
 def check(table: Table) -> None:

@@ -10,14 +10,27 @@ Each workload runs under three configurations (§5.6):
 Throughput workloads report completion time; latency workloads report p95
 tail latency.  Both are converted to a *performance* percentage relative
 to CFS (higher is better), matching the paper's normalized plots.
+
+Each ``(benchmark, mode)`` measurement is one work unit
+(:func:`overall_scenarios`), so fig18/fig19 decompose into ~30 independent
+scenario evaluations for the flat scheduler instead of one ~30 s monolith.
+The VM is named by string (``"rcvm"``/``"hpvm"``) so unit configs stay
+plain data — the cache key hashes ``repr(config)``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Dict, List, Tuple
 
-from repro.cluster import attach_scheduler, make_context, run_to_completion
+from repro.cluster import (
+    attach_scheduler,
+    build_hpvm,
+    build_rcvm,
+    make_context,
+    run_to_completion,
+)
 from repro.experiments.common import Table
+from repro.experiments.units import WorkUnit, execute_serial
 from repro.sim.engine import SEC
 from repro.workloads import (
     OVERALL_LATENCY,
@@ -31,13 +44,25 @@ FAST_THROUGHPUT = ["canneal", "dedup", "streamcluster", "blackscholes",
                    "ocean_cp", "pbzip2"]
 FAST_LATENCY = ["img-dnn", "masstree", "silo", "specjbb"]
 
+VM_BUILDERS = {"rcvm": build_rcvm, "hpvm": build_hpvm}
 
-def _measure(builder: Callable, name: str, mode: str, kind: str,
-             threads: int, scale: float, n_requests: int,
-             warmup_ns: int, seed: str) -> float:
-    env = builder()
+
+def _bench_list(fast: bool) -> List[Tuple[str, str]]:
+    throughput = FAST_THROUGHPUT if fast else OVERALL_THROUGHPUT
+    latency = FAST_LATENCY if fast else OVERALL_LATENCY
+    return ([("throughput", n) for n in throughput]
+            + [("latency", n) for n in latency])
+
+
+def _measure_unit(exp_id: str, vm: str, name: str, mode: str, kind: str,
+                  threads: int, fast: bool) -> float:
+    """Work-unit body: one (benchmark, mode) run on one VM type."""
+    scale = 0.12 if fast else 0.3
+    n_requests = 150 if fast else 400
+    warmup_ns = (6 if fast else 9) * SEC
+    env = VM_BUILDERS[vm]()
     vs = attach_scheduler(env, mode)
-    ctx = make_context(env, vs, seed)
+    ctx = make_context(env, vs, seed=f"{exp_id}-{name}-{mode}")
     env.engine.run_until(env.engine.now + warmup_ns)
     wl = build_workload(name, threads=threads, scale=scale,
                         n_requests=n_requests)
@@ -47,13 +72,20 @@ def _measure(builder: Callable, name: str, mode: str, kind: str,
     return float(wl.elapsed_ns())
 
 
-def run_overall(exp_id: str, title: str, builder: Callable, threads: int,
-                fast: bool) -> Table:
-    throughput_names = FAST_THROUGHPUT if fast else OVERALL_THROUGHPUT
-    latency_names = FAST_LATENCY if fast else OVERALL_LATENCY
-    scale = 0.12 if fast else 0.3
-    n_requests = 150 if fast else 400
-    warmup = (6 if fast else 9) * SEC
+def overall_scenarios(exp_id: str, vm: str, threads: int,
+                      fast: bool) -> List[WorkUnit]:
+    cost = 0.9 if fast else 6.0
+    return [
+        WorkUnit(exp_id=exp_id, label=f"{name}-{mode}", func=_measure_unit,
+                 config=(exp_id, vm, name, mode, kind, threads, fast),
+                 cost_hint=cost, seed=f"{exp_id}-{name}-{mode}")
+        for kind, name in _bench_list(fast)
+        for mode in MODES
+    ]
+
+
+def overall_assemble(exp_id: str, title: str, fast: bool,
+                     results: List[float]) -> Table:
     table = Table(
         exp_id=exp_id,
         title=title,
@@ -62,21 +94,22 @@ def run_overall(exp_id: str, title: str, builder: Callable, threads: int,
         paper_expectation="enhanced CFS and vSched outperform CFS; vSched "
                           "adds bvs/ivh gains on top (Figures 18/19)",
     )
-    for kind, names in (("throughput", throughput_names),
-                        ("latency", latency_names)):
-        for name in names:
-            vals: Dict[str, float] = {}
-            for mode in MODES:
-                vals[mode] = _measure(
-                    builder, name, mode, kind, threads, scale, n_requests,
-                    warmup, seed=f"{exp_id}-{name}-{mode}")
-            base = vals["cfs"]
-            # Performance = inverse time (elapsed or tail latency),
-            # normalized to CFS; higher is better for both kinds.
-            table.add(name, kind, 100.0,
-                      100.0 * base / vals["enhanced"],
-                      100.0 * base / vals["vsched"])
+    it = iter(results)
+    for kind, name in _bench_list(fast):
+        vals: Dict[str, float] = {mode: next(it) for mode in MODES}
+        base = vals["cfs"]
+        # Performance = inverse time (elapsed or tail latency),
+        # normalized to CFS; higher is better for both kinds.
+        table.add(name, kind, 100.0,
+                  100.0 * base / vals["enhanced"],
+                  100.0 * base / vals["vsched"])
     return table
+
+
+def run_overall(exp_id: str, title: str, vm: str, threads: int,
+                fast: bool) -> Table:
+    results = execute_serial(overall_scenarios(exp_id, vm, threads, fast))
+    return overall_assemble(exp_id, title, fast, results)
 
 
 def geometric_means(table: Table) -> Dict[str, Dict[str, float]]:

@@ -1,14 +1,30 @@
-"""Parallel experiment campaigns.
+"""Parallel experiment campaigns: the flat work-unit scheduler.
 
-Two fan-out layers, both deterministic:
+PR 1 had two rigid fan-out layers — whole experiments across a pool, or one
+experiment's scenario sweep — so ``run all --jobs N`` collapsed to the wall
+time of the slowest *whole experiment* (fig17, ~45 s fast) because nested
+fan-out silently degraded inside daemonic pool workers.  This module now
+schedules a **single flat queue of work units** instead:
 
-* :func:`run_scenarios` — run the independent scenario configurations of
-  *one* experiment (e.g. fig14's per-benchmark ``run_one`` calls) across
-  ``multiprocessing`` workers.  Results come back in input order, so a
-  parallel campaign renders byte-identically to a serial one.
-* :func:`run_campaign` — run *whole experiments* (``vsched-repro run all
-  --jobs N``) across workers, again preserving the paper's presentation
-  order.
+1. every experiment is decomposed into independent scenario evaluations
+   (:class:`~repro.experiments.units.WorkUnit`) via its ``scenarios(fast)``
+   hook, or wrapped whole as a single unit when not yet migrated;
+2. one persistent pool of **non-daemonic** worker processes executes all
+   units from all experiments, dispatched longest-``cost_hint``-first
+   (greedy LPT), so the critical path is the slowest single *scenario*;
+3. results are keyed by unit index and each experiment's table is
+   ``assemble``\\ d in the parent, in deterministic presentation order, the
+   moment its last unit lands — callers stream tables in paper order.
+
+Workers are plain ``Process`` objects (not ``Pool`` daemons) fed by a task
+queue; each pins its own in-worker default to one job so legacy
+``run_scenarios`` callers inside a unit can never nest another pool.
+
+A :class:`~repro.experiments.cache.ResultCache` can be layered underneath:
+unit keys are content addresses of ``(code, config, seed, fast)``, hits are
+satisfied in the parent before anything is dispatched, and misses are
+stored as they complete — a warm ``run all`` re-runs only units whose key
+changed.
 
 Determinism contract
 --------------------
@@ -16,32 +32,47 @@ Every scenario derives **all** of its randomness from an explicit seed
 string (see :func:`repro.sim.rng.make_rng`), typically
 ``f"{exp_id}-{param1}-{param2}"``.  Seeds therefore depend only on the
 scenario's identity — never on execution order, worker id, or wall clock —
-so a scenario computes the same result in any process.  The simulation
-itself is a deterministic event loop (integer-nanosecond time, ``(time,
-seq)`` tie-breaking), so serial and parallel campaigns must render
-byte-identical tables; ``tests/test_determinism.py`` enforces this.
-
-Worker functions must be module-level (picklable) and return picklable
-values (floats / dicts / :class:`~repro.experiments.common.Table`), not
-live simulation objects.
-
-Nested pools are not attempted: scenario-level fan-out inside a campaign
-worker silently degrades to serial execution (pool workers are daemonic),
-so ``run all --jobs N`` parallelizes across experiments only.
+so a unit computes the same result in any process, and serial, pooled and
+warm-cache campaigns must render byte-identical tables;
+``tests/test_determinism.py`` enforces this.  Unit functions must be
+module-level (picklable) and must return picklable data (floats / dicts /
+:class:`~repro.experiments.common.Table`), not live simulation objects.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
+import queue as queue_mod
+import sys
 import time
+import traceback
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
+
+from repro.experiments.units import (
+    WorkUnit,
+    get_assemble,
+    get_scenarios,
+    supports_units,
+)
 
 #: Environment variable consulted for the default worker count.
 JOBS_ENV_VAR = "VSCHED_REPRO_JOBS"
 
 _default_jobs: Optional[int] = None
+
+#: Approximate fast-mode serial wall seconds per experiment (from the PR 1
+#: BENCH report) — cost hints for experiments not yet decomposed, so the
+#: LPT dispatch order stays sensible even for whole-experiment units.
+WHOLE_EXPERIMENT_COST: Dict[str, float] = {
+    "fig2": 1.7, "fig3": 0.1, "fig4": 6.7, "fig10a": 0.4, "fig10b": 0.1,
+    "tab2": 0.2, "fig11": 9.3, "fig12": 5.6, "fig13": 2.0, "fig14": 14.9,
+    "tab3": 3.8, "fig15": 9.9, "tab4": 2.9, "fig16": 27.9, "fig17": 45.0,
+    "fig18": 21.1, "fig19": 29.6, "fig20": 7.6, "fig21": 4.4,
+}
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -63,7 +94,10 @@ def default_jobs() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            print(f"warning: ignoring malformed {JOBS_ENV_VAR}={env!r} "
+                  f"(expected an integer); defaulting to 1 worker",
+                  file=sys.stderr)
+            return 1
     return 1
 
 
@@ -100,8 +134,100 @@ def run_scenarios(func: Callable, configs: Sequence[tuple],
 
 
 # ----------------------------------------------------------------------
-# Campaign-level fan-out (whole experiments)
+# Decomposition: experiment -> work units
 # ----------------------------------------------------------------------
+def _whole_experiment_unit(exp_id: str, fast: bool):
+    """Fallback unit body for experiments without a scenarios() hook."""
+    # Imported here so worker processes resolve their own module state.
+    from repro.experiments.common import run_experiment
+    return run_experiment(exp_id, fast=fast)
+
+
+def decompose(exp_id: str, fast: bool) -> Tuple[List[WorkUnit], Callable]:
+    """Return ``(units, assemble)`` for one experiment.
+
+    ``assemble(fast, results)`` rebuilds the experiment's Table from one
+    result per unit (in unit order).  Experiments without the
+    scenarios/assemble protocol become a single whole-experiment unit whose
+    result *is* the table.
+    """
+    from repro.experiments.common import load_experiment
+    mod = load_experiment(exp_id)
+    if supports_units(mod, exp_id):
+        units = list(get_scenarios(mod, exp_id)(fast))
+        return units, get_assemble(mod, exp_id)
+    cost = WHOLE_EXPERIMENT_COST.get(exp_id, 5.0)
+    unit = WorkUnit(exp_id=exp_id, label="__whole__",
+                    func=_whole_experiment_unit, config=(exp_id, fast),
+                    cost_hint=cost)
+    return [unit], lambda fast_, results: results[0]
+
+
+# ----------------------------------------------------------------------
+# The persistent non-daemonic worker pool
+# ----------------------------------------------------------------------
+def _unit_worker(task_q, result_q) -> None:
+    """Worker loop: pull ``(idx, func, config)`` until the None sentinel.
+
+    Pins the in-worker jobs default to 1 (inherited module state could
+    otherwise make a legacy ``run_scenarios`` call inside a unit open a
+    nested pool — we are non-daemonic, so nothing would stop it).
+    """
+    set_default_jobs(1)
+    from repro.sim.engine import Engine
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        idx, func, config = item
+        events0 = Engine.total_events_fired
+        started = time.perf_counter()
+        result: Any = None
+        error = tb = None
+        try:
+            result = func(*config)
+            pickle.dumps(result)  # fail here, not in the queue feeder thread
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            result = None
+            error = f"{type(exc).__name__}: {exc}"
+            tb = traceback.format_exc()
+        result_q.put((idx, result, error, tb,
+                      time.perf_counter() - started,
+                      Engine.total_events_fired - events0))
+
+
+def _next_result(result_q, procs):
+    """Blocking get that notices a silently-dead worker pool."""
+    while True:
+        try:
+            return result_q.get(timeout=1.0)
+        except queue_mod.Empty:
+            if not any(p.is_alive() for p in procs):
+                try:
+                    return result_q.get_nowait()
+                except queue_mod.Empty:
+                    raise RuntimeError(
+                        "work-unit pool died without delivering all results")
+
+
+# ----------------------------------------------------------------------
+# The flat scheduler
+# ----------------------------------------------------------------------
+@dataclass
+class _UnitState:
+    """Book-keeping for one scheduled unit."""
+
+    unit: WorkUnit
+    key: Optional[str] = None
+    result: Any = None
+    error: Optional[str] = None
+    tb: Optional[str] = None
+    wall_s: float = 0.0
+    events: int = 0
+    done: bool = False
+    cached: bool = False
+
+
 @dataclass
 class CampaignResult:
     """Outcome of one experiment inside a campaign."""
@@ -111,56 +237,160 @@ class CampaignResult:
     wall_s: float
     events_fired: int
     check_error: Optional[str] = None
+    n_units: int = 1
+    cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
         return self.check_error is None
 
 
-def _campaign_worker(exp_id: str, fast: bool, check: bool) -> CampaignResult:
-    # Imported here so spawn-based pools do not need the module state of
-    # the parent process.
-    from repro.experiments.common import check_experiment, run_experiment
-    from repro.sim.engine import Engine
-
-    events0 = Engine.total_events_fired
-    started = time.time()
-    table = run_experiment(exp_id, fast=fast)
-    wall = time.time() - started
-    events = Engine.total_events_fired - events0
+def _finish_experiment(exp_id: str, states: List[_UnitState],
+                       assemble: Callable, fast: bool,
+                       check: bool) -> CampaignResult:
+    """Assemble + shape-check one experiment from its completed units."""
+    from repro.experiments.common import check_experiment
+    for st in states:
+        if st.error is not None:
+            detail = f"\n{st.tb}" if st.tb else ""
+            raise RuntimeError(
+                f"work unit {exp_id}/{st.unit.label} failed: "
+                f"{st.error}{detail}")
+    table = assemble(fast, [st.result for st in states])
     check_error = None
     if check:
         try:
             check_experiment(exp_id, table)
         except AssertionError as exc:
             check_error = str(exc)
-    return CampaignResult(exp_id=exp_id, rendered=table.render(),
-                          wall_s=wall, events_fired=events,
-                          check_error=check_error)
+    return CampaignResult(
+        exp_id=exp_id, rendered=table.render(),
+        wall_s=sum(st.wall_s for st in states),
+        events_fired=sum(st.events for st in states),
+        check_error=check_error, n_units=len(states),
+        cache_hits=sum(1 for st in states if st.cached))
 
 
-def run_campaign(exp_ids: Sequence[str], fast: bool = False,
-                 check: bool = True, jobs: Optional[int] = None):
-    """Run experiments (optionally in parallel); yield ordered results.
+def run_units(exp_ids: Sequence[str], fast: bool = False, check: bool = True,
+              jobs: Optional[int] = None,
+              cache=None) -> Iterator[CampaignResult]:
+    """Flat-schedule every unit of every experiment; stream ordered results.
 
-    Yields :class:`CampaignResult` in the order of ``exp_ids`` as soon as
-    each ordered slot completes, so callers can stream output while later
-    experiments are still running.
+    Yields one :class:`CampaignResult` per experiment in ``exp_ids`` order,
+    each as soon as its last unit completes.  ``cache`` is an optional
+    :class:`repro.experiments.cache.ResultCache`; hits skip execution
+    entirely and misses are stored on completion.
     """
     ids = list(exp_ids)
     if jobs is None:
         jobs = default_jobs()
-    jobs = min(max(1, jobs), len(ids)) if ids else 1
+    plans: List[Tuple[str, List[_UnitState], Callable]] = []
+    for exp_id in ids:
+        units, assemble = decompose(exp_id, fast)
+        plans.append((exp_id, [_UnitState(u) for u in units], assemble))
+
+    if cache is not None:
+        from repro.experiments.cache import code_fingerprint, unit_key
+        fingerprint = code_fingerprint()
+        for _exp_id, states, _assemble in plans:
+            for st in states:
+                st.key = unit_key(st.unit, fast, fingerprint=fingerprint)
+                hit, value = cache.lookup(st.key)
+                if hit:
+                    st.result = value
+                    st.done = st.cached = True
+
+    pending = [st for _e, states, _a in plans
+               for st in states if not st.done]
+    jobs = min(max(1, jobs), len(pending)) if pending else 1
+
     if jobs <= 1 or _in_pool_worker():
-        for exp_id in ids:
-            yield _campaign_worker(exp_id, fast, check)
+        yield from _run_units_serial(plans, fast, check, cache)
         return
-    with _pool_context().Pool(processes=jobs) as pool:
-        args = [(exp_id, fast, check) for exp_id in ids]
-        # imap preserves submission order while overlapping execution.
-        for result in pool.imap(_star_campaign_worker, args):
-            yield result
+
+    # Longest-first greedy dispatch: workers pull one unit at a time, so
+    # the big scenarios start immediately and the stragglers pack the tail.
+    pending.sort(key=lambda st: -st.unit.cost_hint)
+    ctx = _pool_context()
+    task_q = ctx.Queue()
+    result_q = ctx.Queue()
+    for idx, st in enumerate(pending):
+        task_q.put((idx, st.unit.func, st.unit.config))
+    for _ in range(jobs):
+        task_q.put(None)
+    procs = [ctx.Process(target=_unit_worker, args=(task_q, result_q),
+                         daemon=False, name=f"vsched-unit-{i}")
+             for i in range(jobs)]
+    for p in procs:
+        p.start()
+
+    next_yield = 0
+    try:
+        remaining = len(pending)
+        while remaining:
+            idx, result, error, tb, wall, events = _next_result(
+                result_q, procs)
+            st = pending[idx]
+            st.result, st.error, st.tb = result, error, tb
+            st.wall_s, st.events, st.done = wall, events, True
+            if error is None and cache is not None and st.key is not None:
+                cache.store(st.key, result)
+            remaining -= 1
+            while (next_yield < len(plans)
+                   and all(s.done for s in plans[next_yield][1])):
+                exp_id, states, assemble = plans[next_yield]
+                yield _finish_experiment(exp_id, states, assemble, fast,
+                                         check)
+                next_yield += 1
+        # Experiments satisfied purely from cache (no pending units).
+        while next_yield < len(plans):
+            exp_id, states, assemble = plans[next_yield]
+            yield _finish_experiment(exp_id, states, assemble, fast, check)
+            next_yield += 1
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join()
+        task_q.close()
+        result_q.close()
 
 
-def _star_campaign_worker(args: Tuple[str, bool, bool]) -> CampaignResult:
-    return _campaign_worker(*args)
+def _run_units_serial(plans, fast: bool, check: bool,
+                      cache) -> Iterator[CampaignResult]:
+    """In-process scheduler path (jobs<=1): same semantics, no pool."""
+    from repro.sim.engine import Engine
+    for exp_id, states, assemble in plans:
+        for st in states:
+            if st.done:
+                continue
+            events0 = Engine.total_events_fired
+            started = time.perf_counter()
+            try:
+                st.result = st.unit.func(*st.unit.config)
+            except Exception as exc:  # noqa: BLE001 - same path as pooled
+                st.error = f"{type(exc).__name__}: {exc}"
+                st.tb = traceback.format_exc()
+            st.wall_s = time.perf_counter() - started
+            st.events = Engine.total_events_fired - events0
+            st.done = True
+            if st.error is None and cache is not None and st.key is not None:
+                cache.store(st.key, st.result)
+        yield _finish_experiment(exp_id, states, assemble, fast, check)
+
+
+# ----------------------------------------------------------------------
+# Campaign-level compatibility wrapper
+# ----------------------------------------------------------------------
+def run_campaign(exp_ids: Sequence[str], fast: bool = False,
+                 check: bool = True, jobs: Optional[int] = None,
+                 cache=None) -> Iterator[CampaignResult]:
+    """Run experiments (optionally in parallel); yield ordered results.
+
+    Retained API from PR 1; now a thin wrapper over the flat scheduler, so
+    a campaign parallelizes *inside* migrated experiments instead of only
+    across them.  Tables render byte-identically either way.
+    """
+    yield from run_units(exp_ids, fast=fast, check=check, jobs=jobs,
+                         cache=cache)

@@ -3,13 +3,17 @@
 
 Runs each experiment (fast mode recommended) and writes a JSON report,
 ``BENCH_<YYYYMMDD>.json`` by default, so engine-hot-path changes can be
-compared run over run.
+compared run over run.  Experiments that expose the work-unit protocol are
+timed per scenario, so the report shows where the seconds go inside the
+heavy experiments; with ``--cache`` the report also counts unit cache
+hits/misses (a warm rerun of an unchanged tree is all hits).
 
 Usage::
 
     PYTHONPATH=src python tools/bench.py --fast
     PYTHONPATH=src python tools/bench.py --fast --experiments fig2,fig14
-    PYTHONPATH=src python tools/bench.py --fast --jobs 4 --check
+    PYTHONPATH=src python tools/bench.py --fast --cache --cache-dir .c
+    PYTHONPATH=src python tools/bench.py --fast --profile fig14
 """
 
 from __future__ import annotations
@@ -30,30 +34,78 @@ if __package__ is None or __package__ == "":
         sys.path.insert(0, _src)
 
 from repro.experiments import parallel
+from repro.experiments.cache import ResultCache, code_fingerprint, unit_key
 from repro.experiments.cli import ALL_ORDER
 from repro.experiments.common import check_experiment, run_experiment
 from repro.sim.engine import Engine
 
 
-def bench_one(exp_id: str, fast: bool, check: bool) -> dict:
+def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
+              fingerprint=None) -> dict:
+    """Time one experiment unit-by-unit; returns the report row."""
     events0 = Engine.total_events_fired
     started = time.perf_counter()
     error = None
+    scenarios = []
+    hits = misses = 0
     try:
-        table = run_experiment(exp_id, fast=fast)
+        units, assemble = parallel.decompose(exp_id, fast)
+        results = []
+        for unit in units:
+            key = unit_key(unit, fast, fingerprint=fingerprint) \
+                if cache is not None else None
+            cached = False
+            if key is not None:
+                cached, value = cache.lookup(key)
+            u_started = time.perf_counter()
+            u_events0 = Engine.total_events_fired
+            if cached:
+                result = value
+                hits += 1
+            else:
+                result = unit.func(*unit.config)
+                if key is not None:
+                    cache.store(key, result)
+                    misses += 1
+            results.append(result)
+            scenarios.append({
+                "label": unit.label,
+                "wall_s": round(time.perf_counter() - u_started, 3),
+                "events_fired": Engine.total_events_fired - u_events0,
+                "cached": cached,
+            })
+        table = assemble(fast, results)
         if check:
             check_experiment(exp_id, table)
     except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
         error = f"{type(exc).__name__}: {exc}"
     wall = time.perf_counter() - started
     events = Engine.total_events_fired - events0
-    return {
+    row = {
         "exp_id": exp_id,
         "wall_s": round(wall, 3),
         "events_fired": events,
         "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "scenarios": scenarios,
         "error": error,
     }
+    if cache is not None:
+        row["cache"] = {"hits": hits, "misses": misses}
+    return row
+
+
+def profile_experiment(exp_id: str, fast: bool) -> int:
+    """cProfile one experiment; print the top 20 by cumulative time."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_experiment(exp_id, fast=fast)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(20)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -70,19 +122,37 @@ def main(argv=None) -> int:
                         help="output path (default BENCH_<YYYYMMDD>.json)")
     parser.add_argument("--check", action="store_true",
                         help="run shape checks; exit nonzero on any failure")
+    parser.add_argument("--cache", action="store_true",
+                        help="consult/populate the work-unit result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory")
+    parser.add_argument("--profile", default=None, metavar="EXP_ID",
+                        help="cProfile this experiment, print the top 20 "
+                             "cumulative entries, and exit")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return profile_experiment(args.profile, fast=args.fast)
 
     ids = (args.experiments.split(",") if args.experiments else ALL_ORDER)
     ids = [i.strip() for i in ids if i.strip()]
     parallel.set_default_jobs(args.jobs)
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    fingerprint = code_fingerprint() if args.cache else None
 
     results = []
     for exp_id in ids:
-        res = bench_one(exp_id, fast=args.fast, check=args.check)
+        res = bench_one(exp_id, fast=args.fast, check=args.check,
+                        cache=cache, fingerprint=fingerprint)
         status = res["error"] or "ok"
+        cache_note = ""
+        if cache is not None:
+            cache_note = (f" {res['cache']['hits']}h/"
+                          f"{res['cache']['misses']}m")
         print(f"{exp_id:8s} {res['wall_s']:8.2f}s "
               f"{res['events_fired']:>12,d} ev "
-              f"{res['events_per_sec']:>10,d} ev/s  [{status}]", flush=True)
+              f"{res['events_per_sec']:>10,d} ev/s{cache_note}  [{status}]",
+              flush=True)
         results.append(res)
 
     report = {
@@ -94,12 +164,19 @@ def main(argv=None) -> int:
         "total_events_fired": sum(r["events_fired"] for r in results),
         "experiments": results,
     }
+    if cache is not None:
+        report["cache"] = {
+            "dir": cache.path,
+            "hits": cache.hits,
+            "misses": cache.misses,
+        }
     out = args.out or f"BENCH_{datetime.date.today():%Y%m%d}.json"
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {out}: {report['total_wall_s']:.1f}s total, "
-          f"{report['total_events_fired']:,d} events")
+          f"{report['total_events_fired']:,d} events"
+          + (f", cache {cache.hits}h/{cache.misses}m" if cache else ""))
 
     failures = [r["exp_id"] for r in results if r["error"]]
     if failures:
