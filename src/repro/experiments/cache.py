@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import sys
 import tempfile
 from typing import Any, Optional, Tuple
 
@@ -97,7 +98,13 @@ def unit_key(unit: WorkUnit, fast: bool,
 
 
 class ResultCache:
-    """Pickle-per-key store with hit/miss accounting."""
+    """Pickle-per-key store with hit/miss accounting.
+
+    Robustness contract: the cache is an accelerator, never a point of
+    failure.  Corrupt entries read as misses, and a failed write (disk
+    full, permissions, unpicklable value) degrades to a warning + counter
+    instead of aborting the campaign that produced the result.
+    """
 
     def __init__(self, path: Optional[str] = None):
         self.path = path or default_cache_dir()
@@ -105,6 +112,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.store_errors = 0
 
     def _entry(self, key: str) -> str:
         return os.path.join(self.path, f"{key}.pkl")
@@ -122,19 +130,29 @@ class ResultCache:
         return True, value
 
     def store(self, key: str, value: Any) -> None:
-        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        tmp = None
         try:
+            fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self._entry(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        except (OSError, pickle.PicklingError, AttributeError,
+                TypeError) as exc:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            if self.store_errors == 0:
+                print(f"warning: result cache store failed "
+                      f"({type(exc).__name__}: {exc}); continuing without "
+                      f"caching this unit", file=sys.stderr)
+            self.store_errors += 1
+            return
         self.stores += 1
 
     def summary(self) -> str:
-        return (f"[cache] hits={self.hits} misses={self.misses} "
-                f"dir={self.path}")
+        extra = f" store-errors={self.store_errors}" \
+            if self.store_errors else ""
+        return (f"[cache] hits={self.hits} misses={self.misses}"
+                f"{extra} dir={self.path}")

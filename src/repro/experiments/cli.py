@@ -15,6 +15,14 @@ heavy experiments, not just across them.  ``--cache`` layers the
 content-addressed result cache underneath: a rerun on an unchanged tree
 recomputes nothing.  Parallel and warm-cache runs render byte-identically
 to serial ones — see ``docs/INTERNALS.md`` §8–§9.
+
+Campaigns are supervised (``docs/INTERNALS.md`` §10): ``--max-retries``
+bounds retries of transient unit failures (worker crash, deadline expiry,
+``TransientUnitError``), ``--unit-timeout`` overrides the derived per-unit
+deadline, and ``--keep-going`` streams every healthy table past failed
+units, prints a structured end-of-run failure report, and exits non-zero.
+Ctrl-C tears the pool down and reports how far the campaign got; cached
+results survive either way.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.experiments import parallel
+from repro.experiments import parallel, supervisor
 from repro.experiments.cache import (
     CACHE_DIR_ENV_VAR,
     CACHE_ENV_VAR,
@@ -63,6 +71,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     runp.add_argument("--jobs", type=int, default=None, metavar="N",
                       help="worker processes (default 1, or "
                            f"${parallel.JOBS_ENV_VAR})")
+    runp.add_argument("--keep-going", action="store_true",
+                      help="do not abort the campaign on a failed unit: "
+                           "stream every healthy table, report failures at "
+                           "the end, exit non-zero")
+    runp.add_argument("--max-retries", type=int, default=None, metavar="N",
+                      help="retries per unit for transient failures "
+                           "(worker crash, timeout, TransientUnitError; "
+                           "default 1)")
+    runp.add_argument("--unit-timeout", type=float, default=None,
+                      metavar="S",
+                      help="per-unit deadline in seconds, overriding the "
+                           "cost-derived one (default: cost_hint-based, or "
+                           f"${supervisor.UNIT_TIMEOUT_ENV_VAR})")
     cachep = runp.add_mutually_exclusive_group()
     cachep.add_argument("--cache", dest="cache", action="store_true",
                         default=None,
@@ -100,21 +121,64 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache_on = args.cache if args.cache is not None else cache_enabled_by_env()
     cache = ResultCache(args.cache_dir) if cache_on else None
 
+    supervised = (args.keep_going or args.max_retries is not None
+                  or args.unit_timeout is not None)
     out_fh = open(args.out, "a" if args.append else "w") if args.out else None
+    failures: List[str] = []
+    completed: List[str] = []
+    failed_units: List[parallel.UnitFailure] = []
+    interrupted: Optional[parallel.CampaignInterrupted] = None
+    aborted: Optional[BaseException] = None
     try:
-        if jobs > 1 or cache is not None:
-            failures = _run_flat(ids, args, jobs, out_fh, cache)
+        if jobs > 1 or cache is not None or supervised:
+            failures = _run_flat(ids, args, jobs, out_fh, cache,
+                                 completed, failed_units)
         else:
             failures = _run_serial(ids, args, jobs, out_fh)
+    except parallel.CampaignInterrupted as exc:
+        interrupted = exc
+    except KeyboardInterrupt:
+        interrupted = parallel.CampaignInterrupted(0, 0)
+    except RuntimeError as exc:
+        # A unit failed without --keep-going: report what *did* finish
+        # (and the cache summary below) before exiting non-zero.
+        aborted = exc
     finally:
         if out_fh:
             out_fh.close()
     if cache is not None:
         print(cache.summary(), flush=True)
+    if interrupted is not None:
+        if interrupted.total:
+            print(f"interrupted after {interrupted.done}/"
+                  f"{interrupted.total} units (cached results preserved)",
+                  flush=True)
+        else:
+            print("interrupted (cached results preserved)", flush=True)
+        return 130
+    if aborted is not None:
+        print(f"campaign aborted: {aborted}", flush=True)
+        done = ", ".join(completed) if completed else "none"
+        print(f"experiments completed before abort: {done}", flush=True)
+        return 1
+    if failed_units:
+        _print_failure_report(failed_units)
+        return 1
     if failures:
         print(f"shape-check failures: {failures}")
         return 1
     return 0
+
+
+def _print_failure_report(failed_units: List[parallel.UnitFailure]) -> None:
+    """Structured end-of-run report for --keep-going campaigns."""
+    print("=== campaign failure report ===", flush=True)
+    for fu in failed_units:
+        print(f"{fu.exp_id}/{fu.label}: {fu.error}")
+        print(f"    attempts={fu.attempts} fate={fu.fate or 'n/a'}")
+    print(f"{len(failed_units)} unit(s) failed permanently; healthy "
+          f"experiments above are complete (and cached with --cache).",
+          flush=True)
 
 
 def _run_serial(ids: List[str], args, jobs: int, out_fh) -> List[str]:
@@ -141,25 +205,39 @@ def _run_serial(ids: List[str], args, jobs: int, out_fh) -> List[str]:
     return failures
 
 
-def _run_flat(ids: List[str], args, jobs: int, out_fh,
-              cache) -> List[str]:
-    """Flat work-unit scheduler, streamed in presentation order."""
+def _run_flat(ids: List[str], args, jobs: int, out_fh, cache,
+              completed: List[str],
+              failed_units: List[parallel.UnitFailure]) -> List[str]:
+    """Supervised flat work-unit scheduler, streamed in paper order.
+
+    Appends to ``completed``/``failed_units`` as results land so the
+    caller can report progress even when the campaign aborts mid-stream.
+    """
     failures = []
     for res in parallel.run_units(ids, fast=args.fast,
                                   check=not args.no_check, jobs=jobs,
-                                  cache=cache):
+                                  cache=cache, keep_going=args.keep_going,
+                                  max_retries=args.max_retries,
+                                  unit_timeout=args.unit_timeout):
         print(f"--- running {res.exp_id} "
               f"({'fast' if args.fast else 'full'}) ---", flush=True)
         print(res.rendered, flush=True)
         if out_fh:
             out_fh.write(res.rendered + "\n\n")
             out_fh.flush()
+        if res.failed_units:
+            failed_units.extend(res.failed_units)
+            print(f"[FAILED: {len(res.failed_units)}/{res.n_units} units; "
+                  f"continuing (--keep-going)]\n")
+            continue
+        completed.append(res.exp_id)
         detail = f"{res.n_units} units, {res.cache_hits} cached, " \
             if (cache is not None or res.n_units > 1) else ""
+        retry_note = f"{res.retries} retried, " if res.retries else ""
         if not args.no_check:
             if res.ok:
-                print(f"[shape check OK, {detail}{res.wall_s:.0f}s "
-                      f"compute]\n")
+                print(f"[shape check OK, {detail}{retry_note}"
+                      f"{res.wall_s:.0f}s compute]\n")
             else:
                 failures.append(res.exp_id)
                 print(f"[SHAPE CHECK FAILED: {res.check_error}]\n")

@@ -26,6 +26,13 @@ satisfied in the parent before anything is dispatched, and misses are
 stored as they complete — a warm ``run all`` re-runs only units whose key
 changed.
 
+Execution is **supervised** (:mod:`repro.experiments.supervisor`): the
+parent owns a per-worker dispatch record, so dead workers are detected and
+their in-flight unit requeued, hung units are killed at a per-unit
+deadline, transient failures retry with deterministic backoff, and
+``keep_going=True`` turns a permanently-failed unit into a
+:class:`CampaignResult` failure panel instead of aborting the campaign.
+
 Determinism contract
 --------------------
 Every scenario derives **all** of its randomness from an explicit seed
@@ -43,21 +50,33 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import pickle
-import queue as queue_mod
 import sys
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
+from repro.experiments.chaos import ChaosPlan
+from repro.experiments.supervisor import (
+    CampaignInterrupted,
+    DeadlinePolicy,
+    RetryPolicy,
+    SupervisorStats,
+    supervise,
+)
 from repro.experiments.units import (
+    TransientUnitError,
     WorkUnit,
     get_assemble,
     get_scenarios,
     supports_units,
 )
+
+__all__ = ["run_units", "run_campaign", "run_scenarios", "decompose",
+           "set_default_jobs", "default_jobs", "last_campaign_stats",
+           "CampaignResult", "UnitFailure", "CampaignInterrupted",
+           "JOBS_ENV_VAR"]
 
 #: Environment variable consulted for the default worker count.
 JOBS_ENV_VAR = "VSCHED_REPRO_JOBS"
@@ -164,53 +183,6 @@ def decompose(exp_id: str, fast: bool) -> Tuple[List[WorkUnit], Callable]:
 
 
 # ----------------------------------------------------------------------
-# The persistent non-daemonic worker pool
-# ----------------------------------------------------------------------
-def _unit_worker(task_q, result_q) -> None:
-    """Worker loop: pull ``(idx, func, config)`` until the None sentinel.
-
-    Pins the in-worker jobs default to 1 (inherited module state could
-    otherwise make a legacy ``run_scenarios`` call inside a unit open a
-    nested pool — we are non-daemonic, so nothing would stop it).
-    """
-    set_default_jobs(1)
-    from repro.sim.engine import Engine
-    while True:
-        item = task_q.get()
-        if item is None:
-            break
-        idx, func, config = item
-        events0 = Engine.total_events_fired
-        started = time.perf_counter()
-        result: Any = None
-        error = tb = None
-        try:
-            result = func(*config)
-            pickle.dumps(result)  # fail here, not in the queue feeder thread
-        except BaseException as exc:  # noqa: BLE001 - reported to the parent
-            result = None
-            error = f"{type(exc).__name__}: {exc}"
-            tb = traceback.format_exc()
-        result_q.put((idx, result, error, tb,
-                      time.perf_counter() - started,
-                      Engine.total_events_fired - events0))
-
-
-def _next_result(result_q, procs):
-    """Blocking get that notices a silently-dead worker pool."""
-    while True:
-        try:
-            return result_q.get(timeout=1.0)
-        except queue_mod.Empty:
-            if not any(p.is_alive() for p in procs):
-                try:
-                    return result_q.get_nowait()
-                except queue_mod.Empty:
-                    raise RuntimeError(
-                        "work-unit pool died without delivering all results")
-
-
-# ----------------------------------------------------------------------
 # The flat scheduler
 # ----------------------------------------------------------------------
 @dataclass
@@ -226,6 +198,20 @@ class _UnitState:
     events: int = 0
     done: bool = False
     cached: bool = False
+    attempts: int = 0
+    fate: str = ""
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One permanently-failed unit, for the end-of-run failure report."""
+
+    exp_id: str
+    label: str
+    error: str
+    attempts: int
+    fate: str
+    tb: Optional[str] = None
 
 
 @dataclass
@@ -239,23 +225,71 @@ class CampaignResult:
     check_error: Optional[str] = None
     n_units: int = 1
     cache_hits: int = 0
+    retries: int = 0
+    failed_units: List[UnitFailure] = field(default_factory=list)
+    unit_stats: List[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return self.check_error is None
+        return self.check_error is None and not self.failed_units
+
+
+def _failure_panel(exp_id: str, states: List[_UnitState]) -> str:
+    """Rendered stand-in table for an experiment with failed units."""
+    failed = [st for st in states if st.error is not None]
+    lines = [f"== {exp_id}: FAILED ({len(failed)}/{len(states)} units) =="]
+    for st in failed:
+        lines.append(f"unit {st.unit.label}: {st.error}")
+        lines.append(f"  attempts: {st.attempts}")
+        if st.fate:
+            lines.append(f"  fate: {st.fate}")
+    healthy = len(states) - len(failed)
+    if healthy:
+        lines.append(f"({healthy} healthy unit(s) completed; their results "
+                     f"are cached when --cache is on)")
+    return "\n".join(lines)
+
+
+def _unit_stats(states: List[_UnitState]) -> List[dict]:
+    return [{"label": st.unit.label, "wall_s": round(st.wall_s, 3),
+             "events_fired": st.events, "attempts": st.attempts,
+             "cached": st.cached} for st in states]
 
 
 def _finish_experiment(exp_id: str, states: List[_UnitState],
-                       assemble: Callable, fast: bool,
-                       check: bool) -> CampaignResult:
-    """Assemble + shape-check one experiment from its completed units."""
+                       assemble: Callable, fast: bool, check: bool,
+                       keep_going: bool = False) -> CampaignResult:
+    """Assemble + shape-check one experiment from its completed units.
+
+    A permanently-failed unit aborts the campaign with ``RuntimeError``
+    unless ``keep_going``, in which case the experiment yields a
+    failure-panel :class:`CampaignResult` with ``ok=False`` instead.
+    """
     from repro.experiments.common import check_experiment
-    for st in states:
-        if st.error is not None:
-            detail = f"\n{st.tb}" if st.tb else ""
-            raise RuntimeError(
-                f"work unit {exp_id}/{st.unit.label} failed: "
-                f"{st.error}{detail}")
+    failed = [st for st in states if st.error is not None]
+    retries = sum(max(0, st.attempts - 1) for st in states)
+    if failed and not keep_going:
+        st = failed[0]
+        detail = f"\n{st.tb}" if st.tb else ""
+        fate = f"; fate: {st.fate}" if st.fate else ""
+        raise RuntimeError(
+            f"work unit {exp_id}/{st.unit.label} failed: "
+            f"{st.error} (attempts={max(1, st.attempts)}{fate})"
+            f"{detail}")
+    if failed:
+        return CampaignResult(
+            exp_id=exp_id, rendered=_failure_panel(exp_id, states),
+            wall_s=sum(st.wall_s for st in states),
+            events_fired=sum(st.events for st in states),
+            n_units=len(states),
+            cache_hits=sum(1 for st in states if st.cached),
+            retries=retries,
+            failed_units=[UnitFailure(exp_id=exp_id, label=st.unit.label,
+                                      error=st.error,
+                                      attempts=max(1, st.attempts),
+                                      fate=st.fate, tb=st.tb)
+                          for st in failed],
+            unit_stats=_unit_stats(states))
     table = assemble(fast, [st.result for st in states])
     check_error = None
     if check:
@@ -268,22 +302,52 @@ def _finish_experiment(exp_id: str, states: List[_UnitState],
         wall_s=sum(st.wall_s for st in states),
         events_fired=sum(st.events for st in states),
         check_error=check_error, n_units=len(states),
-        cache_hits=sum(1 for st in states if st.cached))
+        cache_hits=sum(1 for st in states if st.cached),
+        retries=retries, unit_stats=_unit_stats(states))
+
+
+#: Stats of the most recent supervised campaign in this process (None
+#: until one runs); tools/bench.py reports them in the BENCH json.
+_last_stats: Optional[SupervisorStats] = None
+
+
+def last_campaign_stats() -> Optional[SupervisorStats]:
+    return _last_stats
 
 
 def run_units(exp_ids: Sequence[str], fast: bool = False, check: bool = True,
-              jobs: Optional[int] = None,
-              cache=None) -> Iterator[CampaignResult]:
+              jobs: Optional[int] = None, cache=None,
+              keep_going: bool = False,
+              max_retries: Optional[int] = None,
+              unit_timeout: Optional[float] = None,
+              max_respawns: Optional[int] = None,
+              ) -> Iterator[CampaignResult]:
     """Flat-schedule every unit of every experiment; stream ordered results.
 
     Yields one :class:`CampaignResult` per experiment in ``exp_ids`` order,
     each as soon as its last unit completes.  ``cache`` is an optional
     :class:`repro.experiments.cache.ResultCache`; hits skip execution
     entirely and misses are stored on completion.
+
+    Execution is supervised: transient failures (worker death, deadline
+    expiry, :class:`TransientUnitError`) retry up to ``max_retries``
+    (default :class:`RetryPolicy`'s), ``unit_timeout`` overrides every
+    derived per-unit deadline, and ``keep_going=True`` converts a
+    permanently-failed unit into a ``CampaignResult`` with ``ok=False``
+    (its ``failed_units`` carry the per-unit error, attempts and worker
+    fate) instead of a raised ``RuntimeError`` — healthy experiments still
+    stream and successes still populate the cache.  Ctrl-C tears the pool
+    down and raises :class:`CampaignInterrupted`.  Chaos injection
+    (``$VSCHED_REPRO_CHAOS``, pooled runs only) is parsed here so a
+    malformed spec fails fast in the parent.
     """
     ids = list(exp_ids)
     if jobs is None:
         jobs = default_jobs()
+    retry = RetryPolicy() if max_retries is None \
+        else RetryPolicy(max_retries=max_retries)
+    deadline = DeadlinePolicy.from_env(override_s=unit_timeout)
+    chaos = ChaosPlan.from_env()
     plans: List[Tuple[str, List[_UnitState], Callable]] = []
     for exp_id in ids:
         units, assemble = decompose(exp_id, fast)
@@ -304,80 +368,98 @@ def run_units(exp_ids: Sequence[str], fast: bool = False, check: bool = True,
                for st in states if not st.done]
     jobs = min(max(1, jobs), len(pending)) if pending else 1
 
+    global _last_stats
+    stats = SupervisorStats()
+    _last_stats = stats
+
     if jobs <= 1 or _in_pool_worker():
-        yield from _run_units_serial(plans, fast, check, cache)
+        yield from _run_units_serial(plans, fast, check, cache, keep_going,
+                                     retry)
         return
 
-    # Longest-first greedy dispatch: workers pull one unit at a time, so
-    # the big scenarios start immediately and the stragglers pack the tail.
+    # Longest-first greedy dispatch: the supervisor assigns one unit at a
+    # time, so the big scenarios start immediately and the stragglers pack
+    # the tail.
     pending.sort(key=lambda st: -st.unit.cost_hint)
-    ctx = _pool_context()
-    task_q = ctx.Queue()
-    result_q = ctx.Queue()
-    for idx, st in enumerate(pending):
-        task_q.put((idx, st.unit.func, st.unit.config))
-    for _ in range(jobs):
-        task_q.put(None)
-    procs = [ctx.Process(target=_unit_worker, args=(task_q, result_q),
-                         daemon=False, name=f"vsched-unit-{i}")
-             for i in range(jobs)]
-    for p in procs:
-        p.start()
-
+    outcomes = supervise([st.unit for st in pending], jobs, fast=fast,
+                         retry=retry, deadline=deadline, chaos=chaos,
+                         stats=stats, max_respawns=max_respawns)
     next_yield = 0
     try:
-        remaining = len(pending)
-        while remaining:
-            idx, result, error, tb, wall, events = _next_result(
-                result_q, procs)
-            st = pending[idx]
-            st.result, st.error, st.tb = result, error, tb
-            st.wall_s, st.events, st.done = wall, events, True
-            if error is None and cache is not None and st.key is not None:
-                cache.store(st.key, result)
-            remaining -= 1
+        for pos, out in outcomes:
+            st = pending[pos]
+            st.result, st.error, st.tb = out.result, out.error, out.tb
+            st.wall_s, st.events = out.wall_s, out.events
+            st.attempts, st.fate = out.attempts, out.fate
+            st.done = True
+            if out.error is None and cache is not None and st.key is not None:
+                cache.store(st.key, out.result)
             while (next_yield < len(plans)
                    and all(s.done for s in plans[next_yield][1])):
                 exp_id, states, assemble = plans[next_yield]
                 yield _finish_experiment(exp_id, states, assemble, fast,
-                                         check)
+                                         check, keep_going)
                 next_yield += 1
         # Experiments satisfied purely from cache (no pending units).
         while next_yield < len(plans):
             exp_id, states, assemble = plans[next_yield]
-            yield _finish_experiment(exp_id, states, assemble, fast, check)
+            yield _finish_experiment(exp_id, states, assemble, fast, check,
+                                     keep_going)
             next_yield += 1
     finally:
-        for p in procs:
-            if p.is_alive():
-                p.terminate()
-        for p in procs:
-            p.join()
-        task_q.close()
-        result_q.close()
+        outcomes.close()
 
 
-def _run_units_serial(plans, fast: bool, check: bool,
-                      cache) -> Iterator[CampaignResult]:
-    """In-process scheduler path (jobs<=1): same semantics, no pool."""
+def _run_units_serial(plans, fast: bool, check: bool, cache,
+                      keep_going: bool = False,
+                      retry: Optional[RetryPolicy] = None,
+                      ) -> Iterator[CampaignResult]:
+    """In-process scheduler path (jobs<=1): same semantics, no pool.
+
+    Deadlines and chaos need worker processes and do not apply here, but
+    the bounded-retry contract does: a unit raising
+    :class:`TransientUnitError` is retried with the same deterministic
+    backoff as the pooled path.
+    """
+    from repro.experiments.supervisor import unit_tag
     from repro.sim.engine import Engine
+    retry = retry or RetryPolicy()
     for exp_id, states, assemble in plans:
         for st in states:
             if st.done:
                 continue
-            events0 = Engine.total_events_fired
-            started = time.perf_counter()
-            try:
-                st.result = st.unit.func(*st.unit.config)
-            except Exception as exc:  # noqa: BLE001 - same path as pooled
-                st.error = f"{type(exc).__name__}: {exc}"
-                st.tb = traceback.format_exc()
-            st.wall_s = time.perf_counter() - started
-            st.events = Engine.total_events_fired - events0
+            fates: List[str] = []
+            while True:
+                events0 = Engine.total_events_fired
+                started = time.perf_counter()
+                st.error = st.tb = None
+                retryable = False
+                try:
+                    st.result = st.unit.func(*st.unit.config)
+                except Exception as exc:  # noqa: BLE001 - same as pooled
+                    st.error = f"{type(exc).__name__}: {exc}"
+                    st.tb = traceback.format_exc()
+                    retryable = isinstance(exc, TransientUnitError)
+                st.wall_s = time.perf_counter() - started
+                st.events = Engine.total_events_fired - events0
+                st.attempts += 1
+                if st.error is None:
+                    st.fate = "ok" if not fates else (
+                        "; ".join(fates) + f"; ok on attempt {st.attempts}")
+                    break
+                fates.append(f"attempt {st.attempts}: {st.error}")
+                if not retryable or st.attempts > retry.retries_for(st.unit):
+                    st.fate = "; ".join(fates) + (
+                        "; gave up" if retryable else " (not retryable)")
+                    break
+                if _last_stats is not None:
+                    _last_stats.retries += 1
+                time.sleep(retry.backoff_s(unit_tag(st.unit), st.attempts))
             st.done = True
             if st.error is None and cache is not None and st.key is not None:
                 cache.store(st.key, st.result)
-        yield _finish_experiment(exp_id, states, assemble, fast, check)
+        yield _finish_experiment(exp_id, states, assemble, fast, check,
+                                 keep_going)
 
 
 # ----------------------------------------------------------------------
@@ -385,12 +467,14 @@ def _run_units_serial(plans, fast: bool, check: bool,
 # ----------------------------------------------------------------------
 def run_campaign(exp_ids: Sequence[str], fast: bool = False,
                  check: bool = True, jobs: Optional[int] = None,
-                 cache=None) -> Iterator[CampaignResult]:
+                 cache=None, **kwargs) -> Iterator[CampaignResult]:
     """Run experiments (optionally in parallel); yield ordered results.
 
-    Retained API from PR 1; now a thin wrapper over the flat scheduler, so
-    a campaign parallelizes *inside* migrated experiments instead of only
-    across them.  Tables render byte-identically either way.
+    Retained API from PR 1; now a thin wrapper over the supervised flat
+    scheduler, so a campaign parallelizes *inside* migrated experiments
+    instead of only across them.  Tables render byte-identically either
+    way.  ``kwargs`` pass through to :func:`run_units` (``keep_going``,
+    ``max_retries``, ``unit_timeout``, ``max_respawns``).
     """
     yield from run_units(exp_ids, fast=fast, check=check, jobs=jobs,
-                         cache=cache)
+                         cache=cache, **kwargs)

@@ -31,10 +31,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-__all__ = ["WorkUnit", "supports_units", "get_scenarios", "get_assemble",
-           "execute_serial", "check_config_is_data"]
+__all__ = ["WorkUnit", "TransientUnitError", "supports_units",
+           "get_scenarios", "get_assemble", "execute_serial",
+           "check_config_is_data"]
 
 _DATA_TYPES = (str, bytes, int, float, bool, type(None))
+
+
+class TransientUnitError(RuntimeError):
+    """A unit failure that is safe to retry.
+
+    Raise this from a unit function (or let the chaos harness raise it) to
+    tell the campaign supervisor the failure is transient: under the
+    determinism contract a retried unit recomputes the identical result,
+    so the supervisor re-dispatches it up to the retry budget.  Any other
+    exception is treated as deterministic and fails the unit immediately.
+    """
 
 
 @dataclass(frozen=True)
@@ -47,6 +59,13 @@ class WorkUnit:
     scheduler dispatches longest-first so the big units start immediately.
     ``seed`` records the scenario's RNG seed string for the cache key; by
     convention it matches what the unit passes to ``make_rng``.
+
+    The remaining fields parameterize the campaign supervisor
+    (:mod:`repro.experiments.supervisor`) and do **not** enter the cache
+    key: ``timeout_s`` overrides the derived per-unit deadline,
+    ``max_retries`` overrides the campaign-wide retry budget for this
+    unit, and ``retryable=False`` marks a unit whose failures must never
+    be retried (not even worker crashes or timeouts).
     """
 
     exp_id: str
@@ -55,6 +74,9 @@ class WorkUnit:
     config: Tuple = ()
     cost_hint: float = 1.0
     seed: str = ""
+    timeout_s: Optional[float] = None
+    max_retries: Optional[int] = None
+    retryable: bool = True
 
 
 def check_config_is_data(unit: WorkUnit) -> None:

@@ -113,6 +113,19 @@ class TestResultCache:
         cache.store("k", 2)
         assert cache.lookup("k") == (True, 2)
 
+    def test_store_failure_degrades_instead_of_raising(self, tmp_path,
+                                                       capsys):
+        # The cache is an accelerator, never a point of failure: an
+        # unwritable store must warn and count, not abort the campaign.
+        cache = ResultCache(str(tmp_path))
+        cache.store("k", lambda: None)  # unpicklable value
+        assert cache.store_errors == 1
+        assert cache.stores == 0
+        assert "warning" in capsys.readouterr().err
+        assert "store-errors=1" in cache.summary()
+        cache.store("k", 2)  # still works afterwards
+        assert cache.lookup("k") == (True, 2)
+
 
 class TestConfigIsData:
     def test_accepts_plain_data(self):

@@ -8,10 +8,17 @@ timed per scenario, so the report shows where the seconds go inside the
 heavy experiments; with ``--cache`` the report also counts unit cache
 hits/misses (a warm rerun of an unchanged tree is all hits).
 
+With ``--jobs N`` (N > 1) the catalogue runs as one supervised campaign
+through the flat scheduler: per-scenario wall/events come from the worker
+measurements, scenario rows carry their retry ``attempts``, and the
+report's ``supervisor`` block records retry/requeue/timeout/kill/respawn
+counts — under ``$VSCHED_REPRO_CHAOS`` that is the fault-recovery bill.
+
 Usage::
 
     PYTHONPATH=src python tools/bench.py --fast
     PYTHONPATH=src python tools/bench.py --fast --experiments fig2,fig14
+    PYTHONPATH=src python tools/bench.py --fast --jobs 4
     PYTHONPATH=src python tools/bench.py --fast --cache --cache-dir .c
     PYTHONPATH=src python tools/bench.py --fast --profile fig14
 """
@@ -37,6 +44,7 @@ from repro.experiments import parallel
 from repro.experiments.cache import ResultCache, code_fingerprint, unit_key
 from repro.experiments.cli import ALL_ORDER
 from repro.experiments.common import check_experiment, run_experiment
+from repro.experiments.supervisor import SupervisorStats
 from repro.sim.engine import Engine
 
 
@@ -94,6 +102,38 @@ def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
     return row
 
 
+def bench_campaign(ids, fast: bool, check: bool, jobs: int,
+                   cache=None) -> list:
+    """Time the ids as one supervised campaign; returns report rows.
+
+    Wall/events per scenario are the worker-side measurements streamed
+    back through the supervisor; a unit that retried reports the wall of
+    its successful attempt and ``attempts > 1``.
+    """
+    rows = []
+    for res in parallel.run_units(ids, fast=fast, check=check, jobs=jobs,
+                                  cache=cache, keep_going=True):
+        if res.failed_units:
+            error = "; ".join(f"{fu.label}: {fu.error}"
+                              for fu in res.failed_units)
+        else:
+            error = res.check_error
+        row = {
+            "exp_id": res.exp_id,
+            "wall_s": round(res.wall_s, 3),
+            "events_fired": res.events_fired,
+            "events_per_sec": round(res.events_fired / res.wall_s)
+            if res.wall_s > 0 else 0,
+            "scenarios": res.unit_stats,
+            "error": error,
+        }
+        if cache is not None:
+            row["cache"] = {"hits": res.cache_hits,
+                            "misses": res.n_units - res.cache_hits}
+        rows.append(row)
+    return rows
+
+
 def profile_experiment(exp_id: str, fast: bool) -> int:
     """cProfile one experiment; print the top 20 by cumulative time."""
     import cProfile
@@ -117,7 +157,9 @@ def main(argv=None) -> int:
                         help="comma-separated experiment ids "
                              "(default: the full catalogue)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="scenario-sweep worker processes per experiment")
+                        help="N>1 times the ids as one supervised campaign "
+                             "over N workers (adds supervisor fault "
+                             "counters to the report)")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<YYYYMMDD>.json)")
     parser.add_argument("--check", action="store_true",
@@ -140,21 +182,29 @@ def main(argv=None) -> int:
     cache = ResultCache(args.cache_dir) if args.cache else None
     fingerprint = code_fingerprint() if args.cache else None
 
-    results = []
-    for exp_id in ids:
-        res = bench_one(exp_id, fast=args.fast, check=args.check,
-                        cache=cache, fingerprint=fingerprint)
+    if args.jobs > 1:
+        results = bench_campaign(ids, fast=args.fast, check=args.check,
+                                 jobs=args.jobs, cache=cache)
+    else:
+        results = []
+        for exp_id in ids:
+            results.append(bench_one(exp_id, fast=args.fast,
+                                     check=args.check, cache=cache,
+                                     fingerprint=fingerprint))
+    for res in results:
         status = res["error"] or "ok"
         cache_note = ""
         if cache is not None:
             cache_note = (f" {res['cache']['hits']}h/"
                           f"{res['cache']['misses']}m")
-        print(f"{exp_id:8s} {res['wall_s']:8.2f}s "
+        print(f"{res['exp_id']:8s} {res['wall_s']:8.2f}s "
               f"{res['events_fired']:>12,d} ev "
               f"{res['events_per_sec']:>10,d} ev/s{cache_note}  [{status}]",
               flush=True)
-        results.append(res)
 
+    sup_stats = parallel.last_campaign_stats()
+    supervisor = sup_stats.as_dict() if sup_stats is not None else \
+        SupervisorStats().as_dict()
     report = {
         "date": datetime.date.today().isoformat(),
         "fast": args.fast,
@@ -162,6 +212,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "total_wall_s": round(sum(r["wall_s"] for r in results), 3),
         "total_events_fired": sum(r["events_fired"] for r in results),
+        "supervisor": supervisor,
         "experiments": results,
     }
     if cache is not None:
