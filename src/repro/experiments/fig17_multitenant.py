@@ -63,6 +63,7 @@ def _colocated_vm(machine: Machine, name: str, bench: str, rng_seed: str,
 
 
 def _progress(kernel: GuestKernel) -> float:
+    kernel.sync_ticks()  # work_done lags while ticks are elided
     return sum(t.stats.work_done for t in kernel.tasks)
 
 

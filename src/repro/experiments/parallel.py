@@ -196,6 +196,7 @@ class _UnitState:
     tb: Optional[str] = None
     wall_s: float = 0.0
     events: int = 0
+    elided: int = 0
     done: bool = False
     cached: bool = False
     attempts: int = 0
@@ -222,6 +223,7 @@ class CampaignResult:
     rendered: str
     wall_s: float
     events_fired: int
+    events_elided: int = 0
     check_error: Optional[str] = None
     n_units: int = 1
     cache_hits: int = 0
@@ -252,8 +254,9 @@ def _failure_panel(exp_id: str, states: List[_UnitState]) -> str:
 
 def _unit_stats(states: List[_UnitState]) -> List[dict]:
     return [{"label": st.unit.label, "wall_s": round(st.wall_s, 3),
-             "events_fired": st.events, "attempts": st.attempts,
-             "cached": st.cached} for st in states]
+             "events_fired": st.events, "events_elided": st.elided,
+             "attempts": st.attempts, "cached": st.cached}
+            for st in states]
 
 
 def _finish_experiment(exp_id: str, states: List[_UnitState],
@@ -281,6 +284,7 @@ def _finish_experiment(exp_id: str, states: List[_UnitState],
             exp_id=exp_id, rendered=_failure_panel(exp_id, states),
             wall_s=sum(st.wall_s for st in states),
             events_fired=sum(st.events for st in states),
+            events_elided=sum(st.elided for st in states),
             n_units=len(states),
             cache_hits=sum(1 for st in states if st.cached),
             retries=retries,
@@ -301,6 +305,7 @@ def _finish_experiment(exp_id: str, states: List[_UnitState],
         exp_id=exp_id, rendered=table.render(),
         wall_s=sum(st.wall_s for st in states),
         events_fired=sum(st.events for st in states),
+        events_elided=sum(st.elided for st in states),
         check_error=check_error, n_units=len(states),
         cache_hits=sum(1 for st in states if st.cached),
         retries=retries, unit_stats=_unit_stats(states))
@@ -390,6 +395,7 @@ def run_units(exp_ids: Sequence[str], fast: bool = False, check: bool = True,
             st = pending[pos]
             st.result, st.error, st.tb = out.result, out.error, out.tb
             st.wall_s, st.events = out.wall_s, out.events
+            st.elided = out.elided
             st.attempts, st.fate = out.attempts, out.fate
             st.done = True
             if out.error is None and cache is not None and st.key is not None:
@@ -431,6 +437,7 @@ def _run_units_serial(plans, fast: bool, check: bool, cache,
             fates: List[str] = []
             while True:
                 events0 = Engine.total_events_fired
+                elided0 = Engine.total_events_elided
                 started = time.perf_counter()
                 st.error = st.tb = None
                 retryable = False
@@ -442,6 +449,7 @@ def _run_units_serial(plans, fast: bool, check: bool, cache,
                     retryable = isinstance(exc, TransientUnitError)
                 st.wall_s = time.perf_counter() - started
                 st.events = Engine.total_events_fired - events0
+                st.elided = Engine.total_events_elided - elided0
                 st.attempts += 1
                 if st.error is None:
                     st.fate = "ok" if not fates else (

@@ -171,6 +171,7 @@ class UnitOutcome:
     tb: Optional[str] = None
     wall_s: float = 0.0
     events: int = 0
+    elided: int = 0
     attempts: int = 1
     fate: str = "ok"
 
@@ -206,6 +207,7 @@ def _worker_main(worker_id: int, task_r, result_w,
             break
         idx, attempt, tag, func, config = item
         events0 = Engine.total_events_fired
+        elided0 = Engine.total_events_elided
         started = time.perf_counter()
         result: Any = None
         error = tb = None
@@ -223,7 +225,8 @@ def _worker_main(worker_id: int, task_r, result_w,
         try:
             result_w.send((worker_id, idx, attempt, result, error, tb,
                            retryable, time.perf_counter() - started,
-                           Engine.total_events_fired - events0))
+                           Engine.total_events_fired - events0,
+                           Engine.total_events_elided - elided0))
         except (BrokenPipeError, OSError):
             break  # parent is gone; nothing left to report to
 
@@ -368,7 +371,7 @@ def supervise(units: Sequence[WorkUnit], jobs: int, *, fast: bool = False,
                     pass
             for msg in msgs:
                 wid, idx, attempt, result, error, tb, retryable, wall, \
-                    events = msg
+                    events, elided = msg
                 w = workers.get(wid)
                 if w is not None and w.current is not None \
                         and w.current[0] == idx:
@@ -383,6 +386,7 @@ def supervise(units: Sequence[WorkUnit], jobs: int, *, fast: bool = False,
                             + f"; ok on attempt {attempts_made[idx]}")
                         yield idx, UnitOutcome(
                             result=result, wall_s=wall, events=events,
+                            elided=elided,
                             attempts=attempts_made[idx], fate=fate)
                     elif retryable:
                         out = settle(idx, error)
@@ -398,6 +402,7 @@ def supervise(units: Sequence[WorkUnit], jobs: int, *, fast: bool = False,
                             f"attempt {attempts_made[idx]}: {error}")
                         yield idx, UnitOutcome(
                             error=error, tb=tb, wall_s=wall, events=events,
+                            elided=elided,
                             attempts=attempts_made[idx],
                             fate="; ".join(history[idx])
                                  + " (not retryable)")

@@ -26,6 +26,22 @@ PELT_MAX_SUM = PELT_PERIOD_NS / (1.0 - PELT_Y)
 #: Full-scale utilization.
 UTIL_SCALE = 1024
 
+#: Memoized decay factors keyed by period count.  Tick-driven updates
+#: arrive at a handful of recurring intervals (the 1 ms tick dominates,
+#: especially in tickless catch-up replay loops), and ``pow`` is the hot
+#: instruction of the signal — reusing the identical float result is both
+#: faster and bit-identical by construction.
+_DECAY_CACHE: dict = {}
+
+
+def _decay(periods: float) -> float:
+    d = _DECAY_CACHE.get(periods)
+    if d is None:
+        if len(_DECAY_CACHE) >= 256:
+            _DECAY_CACHE.clear()
+        d = _DECAY_CACHE[periods] = PELT_Y ** periods
+    return d
+
 
 class Pelt:
     """Utilization tracker for one task (or one runqueue).
@@ -48,8 +64,7 @@ class Pelt:
         if delta <= 0:
             return self.util_avg
         self.last_update = now
-        periods = delta / PELT_PERIOD_NS
-        decay = PELT_Y ** periods
+        decay = _decay(delta / PELT_PERIOD_NS)
         if running:
             # Integral of contribution over the interval with continuous
             # decay: new = old*decay + (1 - decay) * MAX_SUM.
@@ -64,8 +79,7 @@ class Pelt:
         delta = now - self.last_update
         if delta <= 0:
             return self.util_avg
-        periods = delta / PELT_PERIOD_NS
-        decay = PELT_Y ** periods
+        decay = _decay(delta / PELT_PERIOD_NS)
         s = self._sum * decay
         if running:
             s += (1.0 - decay) * PELT_MAX_SUM

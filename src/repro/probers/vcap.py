@@ -167,6 +167,9 @@ class VCap:
         stop_flag[0] = True
         self._window_open = False
         now = self.kernel.now()
+        # Probers may still be mid-chunk; their work/wall stats are
+        # integrated at (possibly elided) ticks, so replay those first.
+        self.kernel.sync_ticks()
         activity_samples = []
         for c in cpus:
             if c not in probers:

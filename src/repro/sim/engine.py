@@ -3,8 +3,8 @@
 The whole reproduction runs on a single deterministic event loop.  Time is
 kept in integer nanoseconds so that runs are bit-reproducible across
 platforms; ties between events scheduled for the same instant are broken by
-insertion order (a monotonically increasing sequence number), never by object
-identity.
+a priority band and then insertion order (a monotonically increasing
+sequence number), never by object identity.
 
 The engine is deliberately minimal: entities schedule callbacks, callbacks
 may schedule more callbacks.  Higher layers (hypervisor, guest kernel) build
@@ -12,22 +12,41 @@ their state machines on top of this primitive.
 
 Internals are tuned for the hot path:
 
-* the heap stores ``(time, seq, event)`` tuples so ordering is decided by
-  C-level integer comparisons instead of Python ``__lt__`` calls;
+* the heap stores ``(time, prio, seq, event)`` tuples so ordering is decided
+  by C-level integer comparisons instead of Python ``__lt__`` calls;
 * cancellation stays lazy, but the engine counts cancelled-in-heap events
   and compacts the heap when they dominate, so ``run_until`` does not churn
   through millions of dead entries;
 * ``pending()`` is O(1), maintained on push/pop/cancel.
 
+Priority bands (``prio``) exist for timer elision: a periodic timer whose
+firing is elided and later re-armed would otherwise land at its original
+instant with a *newer* sequence number, perturbing same-instant ordering
+relative to a run without elision.  Timers that participate in elision are
+given a per-owner negative "lane" (:meth:`Engine.alloc_lane`) so their
+position among same-instant events is a function of (time, lane) alone —
+history-independent, hence identical whether or not the timer was ever
+cancelled, elided, or re-armed along the way.  Ordinary events use prio 0.
+
 Compaction filters dead entries and re-heapifies the survivors; since the
-``(time, seq)`` key is unique per event, the pop order after compaction is
-identical to the order before it — event ordering semantics are preserved.
+``(time, prio, seq)`` key is unique per event, the pop order after
+compaction is identical to the order before it — event ordering semantics
+are preserved.
+
+Elision support: subsystems that skip scheduling a timer whose effect they
+materialize arithmetically (tickless guest CPUs, quiescent host balancing)
+report the skipped firings through :meth:`Engine.note_elided`; the counts
+surface next to ``events_fired`` in ``tools/bench.py``.  A callback
+attribution profiler (:attr:`Engine.profiling`) keeps per-callsite
+fired/cancelled/elided counters when enabled and costs one local truth test
+per event when off.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: One microsecond / millisecond / second expressed in engine time units.
 USEC = 1_000
@@ -51,6 +70,17 @@ def ns_to_sec(t: int) -> float:
     return t / SEC
 
 
+def elision_default() -> bool:
+    """Process-wide default for timer elision (on unless opted out).
+
+    ``VSCHED_REPRO_TICKLESS=0`` disables elision; the A/B harness
+    (``tools/abdiff.py``) flips this to assert that elided and non-elided
+    runs produce byte-identical tables.  Read lazily at each construction
+    site so tests can toggle it in-process.
+    """
+    return os.environ.get("VSCHED_REPRO_TICKLESS", "1") != "0"
+
+
 class Event:
     """A cancellable scheduled callback.
 
@@ -59,11 +89,14 @@ class Event:
     surfaces.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine")
+    __slots__ = ("time", "prio", "seq", "callback", "args", "cancelled",
+                 "_engine")
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., None],
-                 args: tuple, engine: Optional["Engine"] = None):
+    def __init__(self, time: int, prio: int, seq: int,
+                 callback: Callable[..., None], args: tuple,
+                 engine: Optional["Engine"] = None):
         self.time = time
+        self.prio = prio
         self.seq = seq
         self.callback = callback
         self.args = args
@@ -79,6 +112,8 @@ class Event:
         if eng is not None:
             self._engine = None
             eng._note_cancelled()
+            if Engine.profiling:
+                Engine._profile_bump(self.callback, 1)
 
     @property
     def active(self) -> bool:
@@ -86,7 +121,8 @@ class Event:
         return not self.cancelled
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return ((self.time, self.prio, self.seq)
+                < (other.time, other.prio, other.seq))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -107,10 +143,18 @@ class Engine:
     #: Process-wide count of events fired across all engines (perf metric;
     #: read by tools/bench.py to report events/sec).
     total_events_fired: int = 0
+    #: Process-wide count of timer firings elided (materialized
+    #: arithmetically instead of dispatched through the heap).
+    total_events_elided: int = 0
+    #: Callback-attribution profiler switch.  When True, per-callsite
+    #: fired/cancelled/elided counters accumulate in :attr:`profile_data`.
+    profiling: bool = False
+    #: qualname -> [fired, cancelled, elided]
+    profile_data: Dict[str, List[int]] = {}
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Tuple[int, int, Event]] = []
+        self._heap: List[Tuple[int, int, int, Event]] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
@@ -118,34 +162,165 @@ class Engine:
         self._ncancelled = 0
         #: Events fired by this engine instance.
         self.events_fired = 0
+        #: Timer firings elided by this engine instance.
+        self.events_elided = 0
+        #: Next negative priority lane to hand out (see module docstring).
+        self._next_lane = 0
+        #: Heap entry of the event currently being dispatched, or None.
+        self._current: Optional[Tuple[int, int, int, Event]] = None
+        #: Highest priority popped so far at the current instant.  The heap
+        #: invariant guarantees that when an entry with priority ``p`` pops
+        #: at time ``t``, every entry armed *before* instant ``t`` began
+        #: with priority ``< p`` has already popped — so this high-water
+        #: mark, not the executing event's own priority, is the correct
+        #: replay limit for elided same-instant timers.  (The executing
+        #: event itself may have been armed mid-instant — e.g. an overdue
+        #: tick re-armed at ``now`` by a resume — in which case its own
+        #: priority says nothing about what already ran.)
+        self._instant_hi: float = float("-inf")
+        #: Count of events popped, ever.  An "epoch" names a point in the
+        #: dispatch order; recording it when arming lets a later reader ask
+        #: whether anything has fired since (see
+        #: :meth:`max_prio_popped_since`).
+        self._pop_epoch: int = 0
+        #: ``(epoch, prio)`` marks for pops at the *current* instant, epochs
+        #: increasing and priorities strictly decreasing (a pop evicts all
+        #: marks with priority <= its own before appending).  The first mark
+        #: with epoch > e is therefore the maximum priority popped since
+        #: epoch ``e`` at this instant.
+        self._instant_marks: List[Tuple[int, int]] = []
+        #: Callbacks invoked when a run()/run_until() finishes, after the
+        #: clock settles — elision catch-up hooks use this so state reads
+        #: *between* runs see fully materialized effects.
+        self._sync_hooks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
-    def call_at(self, time: int, callback: Callable[..., None], *args: Any) -> Event:
+    def call_at(self, time: int, callback: Callable[..., None], *args: Any,
+                prio: int = 0) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time``.
 
         Scheduling in the past is a programming error and raises
         ``ValueError`` — silent time travel hides causality bugs.
+
+        ``prio`` orders same-instant events: lower fires first, default 0.
+        Pass a lane from :meth:`alloc_lane` for timers whose same-instant
+        position must not depend on when they were (re-)pushed.
         """
         if time < self.now:
             raise ValueError(
                 f"cannot schedule event at {time} before current time {self.now}"
             )
         self._seq = seq = self._seq + 1
-        ev = Event(time, seq, callback, args, self)
-        heapq.heappush(self._heap, (time, seq, ev))
+        ev = Event(time, prio, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, prio, seq, ev))
         return ev
 
-    def call_in(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
+    def call_in(self, delay: int, callback: Callable[..., None], *args: Any,
+                prio: int = 0) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self.call_at(self.now + delay, callback, *args)
+        return self.call_at(self.now + delay, callback, *args, prio=prio)
+
+    def alloc_lane(self) -> int:
+        """Reserve a unique negative priority band for one periodic timer.
+
+        Allocation order must be deterministic (construction order of the
+        owning objects), and owners must allocate unconditionally — lanes
+        shape same-instant ordering, so they have to be identical between
+        elision-on and elision-off runs.
+        """
+        self._next_lane -= 1
+        return self._next_lane
+
+    def current_key(self) -> Optional[Tuple[int, float]]:
+        """Replay limit while an event is dispatching, or None outside one.
+
+        Returns ``(now, hi)`` where ``hi`` is the highest priority popped
+        so far at this instant.  Elision catch-up materializes a skipped
+        timer firing iff its own (time, lane) orders strictly before that
+        key: such an entry, had it been armed eagerly, would already have
+        popped.  Comparing against the *executing* event's priority would
+        be wrong when that event was armed mid-instant (an overdue timer
+        re-armed at ``now`` runs after entries of every lane that popped
+        earlier in the instant, not only after lower-priority ones).
+        """
+        cur = self._current
+        if cur is None:
+            return None
+        return (cur[0], self._instant_hi)
+
+    @property
+    def pop_epoch(self) -> int:
+        """Dispatch-order position: count of events popped so far."""
+        return self._pop_epoch
+
+    def max_prio_popped_since(self, epoch: int) -> Optional[int]:
+        """Max priority popped at the current instant after ``epoch``.
+
+        Returns None when nothing has popped since.  Used to replay a timer
+        that eager mode would have armed *mid-instant*: such an entry sits
+        in the heap from its arming epoch on, so by the heap-min property
+        it has fired iff some later pop carried a higher priority.
+        """
+        for e, p in self._instant_marks:
+            if e > epoch:
+                return p
+        return None
+
+    # ------------------------------------------------------------------
+    # Elision accounting
+    # ------------------------------------------------------------------
+    def note_elided(self, n: int, callback: Callable[..., None]) -> None:
+        """Record ``n`` timer firings of ``callback`` elided off the heap."""
+        self.events_elided += n
+        Engine.total_events_elided += n
+        if Engine.profiling:
+            Engine._profile_bump(callback, 2, n)
+
+    # ------------------------------------------------------------------
+    # Callback-attribution profiler
+    # ------------------------------------------------------------------
+    @classmethod
+    def _profile_bump(cls, callback: Callable[..., None], slot: int,
+                      n: int = 1) -> None:
+        name = getattr(callback, "__qualname__", repr(callback))
+        row = cls.profile_data.get(name)
+        if row is None:
+            row = cls.profile_data[name] = [0, 0, 0]
+        row[slot] += n
+
+    @classmethod
+    def profile_reset(cls) -> None:
+        cls.profile_data = {}
+
+    @classmethod
+    def profile_table(cls, top: int = 15) -> str:
+        """Render the hot-callback table (sorted by fired, descending)."""
+        rows = sorted(cls.profile_data.items(),
+                      key=lambda kv: kv[1][0], reverse=True)[:top]
+        width = max([len(name) for name, _ in rows] + [8])
+        lines = [f"{'callback':<{width}} {'fired':>12} {'cancelled':>12} "
+                 f"{'elided':>12}"]
+        for name, (fired, cancelled, elided) in rows:
+            lines.append(f"{name:<{width}} {fired:>12,d} {cancelled:>12,d} "
+                         f"{elided:>12,d}")
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def add_sync_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` after every run()/run_until() completes.
+
+        Subsystems that defer state materialization (tickless catch-up)
+        register here so callers reading state between runs never observe
+        a half-materialized world.
+        """
+        self._sync_hooks.append(hook)
+
     def run_until(self, deadline: int) -> None:
         """Process events up to and including ``deadline``.
 
@@ -159,26 +334,45 @@ class Engine:
         heap = self._heap
         pop = heapq.heappop
         fired = 0
+        profiling = Engine.profiling
+        bump = Engine._profile_bump
         try:
             while heap and not self._stopped:
                 entry = heap[0]
                 if entry[0] > deadline:
                     break
                 pop(heap)
-                ev = entry[2]
+                ev = entry[3]
                 if ev.cancelled:
                     self._ncancelled -= 1
                     continue
                 ev._engine = None
+                self._pop_epoch += 1
+                marks = self._instant_marks
+                if entry[0] != self.now:
+                    self._instant_hi = entry[1]
+                    del marks[:]
+                else:
+                    if entry[1] > self._instant_hi:
+                        self._instant_hi = entry[1]
+                    while marks and marks[-1][1] <= entry[1]:
+                        marks.pop()
+                marks.append((self._pop_epoch, entry[1]))
                 self.now = entry[0]
+                self._current = entry
                 ev.callback(*ev.args)
                 fired += 1
+                if profiling:
+                    bump(ev.callback, 0)
             if self.now < deadline:
                 self.now = deadline
         finally:
+            self._current = None
             self._running = False
             self.events_fired += fired
             Engine.total_events_fired += fired
+            for hook in self._sync_hooks:
+                hook()
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events`` fire); return count."""
@@ -189,23 +383,42 @@ class Engine:
         heap = self._heap
         pop = heapq.heappop
         fired = 0
+        profiling = Engine.profiling
+        bump = Engine._profile_bump
         try:
             while heap and not self._stopped:
                 if max_events is not None and fired >= max_events:
                     break
                 entry = pop(heap)
-                ev = entry[2]
+                ev = entry[3]
                 if ev.cancelled:
                     self._ncancelled -= 1
                     continue
                 ev._engine = None
+                self._pop_epoch += 1
+                marks = self._instant_marks
+                if entry[0] != self.now:
+                    self._instant_hi = entry[1]
+                    del marks[:]
+                else:
+                    if entry[1] > self._instant_hi:
+                        self._instant_hi = entry[1]
+                    while marks and marks[-1][1] <= entry[1]:
+                        marks.pop()
+                marks.append((self._pop_epoch, entry[1]))
                 self.now = entry[0]
+                self._current = entry
                 ev.callback(*ev.args)
                 fired += 1
+                if profiling:
+                    bump(ev.callback, 0)
         finally:
+            self._current = None
             self._running = False
             self.events_fired += fired
             Engine.total_events_fired += fired
+            for hook in self._sync_hooks:
+                hook()
         return fired
 
     def stop(self) -> None:
@@ -233,6 +446,6 @@ class Engine:
         a reference keeps seeing the live heap.
         """
         heap = self._heap
-        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
         heapq.heapify(heap)
         self._ncancelled = 0

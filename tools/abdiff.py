@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""A/B determinism harness for tickless timer elision.
+
+Runs each experiment twice in one process — elision ON, then OFF (via
+``VSCHED_REPRO_TICKLESS``, read at Machine/GuestConfig construction) —
+and asserts the result tables are **byte-identical**.  Elision is a pure
+event-count optimisation: skipped guest ticks are replayed arithmetically
+and suppressed host timers fire logically at the same instants, so any
+table divergence is a correctness bug, not noise.
+
+Also reports the event-reduction ratio per experiment (off/on fired
+events) and the elided count, which is where the speedup claim in
+BENCH_*.json comes from.
+
+Usage::
+
+    PYTHONPATH=src python tools/abdiff.py --fast
+    PYTHONPATH=src python tools/abdiff.py --fast --experiments fig2,fig4
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+if __package__ is None or __package__ == "":
+    # Allow running without PYTHONPATH=src from the repo root.
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro.experiments.cli import ALL_ORDER
+from repro.experiments.common import run_experiment
+from repro.sim.engine import Engine
+
+
+def table_bytes(table) -> str:
+    """Canonical byte-comparable form of a result table.
+
+    ``repr`` keeps full float precision — two runs that differ in any
+    bit of any cell produce different blobs even when the rendered
+    (rounded) table would look the same.
+    """
+    return repr(table.columns) + "\n" + "\n".join(
+        repr(row) for row in table.rows)
+
+
+def run_once(exp_id: str, fast: bool, tickless: bool):
+    os.environ["VSCHED_REPRO_TICKLESS"] = "1" if tickless else "0"
+    fired0 = Engine.total_events_fired
+    elided0 = Engine.total_events_elided
+    table = run_experiment(exp_id, fast=fast)
+    return (table_bytes(table),
+            Engine.total_events_fired - fired0,
+            Engine.total_events_elided - elided0)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Assert experiments are byte-identical with timer "
+                    "elision on vs off, and report the event savings.")
+    parser.add_argument("--fast", action="store_true",
+                        help="shrunken workloads (recommended)")
+    parser.add_argument("--experiments", default=None, metavar="IDS",
+                        help="comma-separated experiment ids "
+                             "(default: the full catalogue)")
+    args = parser.parse_args(argv)
+
+    ids = (args.experiments.split(",") if args.experiments else ALL_ORDER)
+    ids = [i.strip() for i in ids if i.strip()]
+
+    saved_env = os.environ.get("VSCHED_REPRO_TICKLESS")
+    diverged = []
+    total_on = total_off = 0
+    try:
+        for exp_id in ids:
+            on_blob, on_fired, on_elided = run_once(exp_id, args.fast, True)
+            off_blob, off_fired, _ = run_once(exp_id, args.fast, False)
+            total_on += on_fired
+            total_off += off_fired
+            identical = on_blob == off_blob
+            ratio = off_fired / on_fired if on_fired else float("inf")
+            status = "identical" if identical else "DIVERGED"
+            print(f"{exp_id:8s} on={on_fired:>12,d} off={off_fired:>12,d} "
+                  f"x{ratio:5.2f} elided={on_elided:>11,d}  [{status}]",
+                  flush=True)
+            if not identical:
+                diverged.append(exp_id)
+                on_lines = on_blob.splitlines()
+                off_lines = off_blob.splitlines()
+                for a, b in zip(on_lines, off_lines):
+                    if a != b:
+                        print(f"  on : {a}")
+                        print(f"  off: {b}")
+    finally:
+        if saved_env is None:
+            os.environ.pop("VSCHED_REPRO_TICKLESS", None)
+        else:
+            os.environ["VSCHED_REPRO_TICKLESS"] = saved_env
+
+    overall = total_off / total_on if total_on else float("inf")
+    print(f"total    on={total_on:>12,d} off={total_off:>12,d} "
+          f"x{overall:5.2f}")
+    if diverged:
+        print(f"DIVERGED: {diverged}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

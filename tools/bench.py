@@ -52,6 +52,7 @@ def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
               fingerprint=None) -> dict:
     """Time one experiment unit-by-unit; returns the report row."""
     events0 = Engine.total_events_fired
+    elided0 = Engine.total_events_elided
     started = time.perf_counter()
     error = None
     scenarios = []
@@ -67,6 +68,7 @@ def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
                 cached, value = cache.lookup(key)
             u_started = time.perf_counter()
             u_events0 = Engine.total_events_fired
+            u_elided0 = Engine.total_events_elided
             if cached:
                 result = value
                 hits += 1
@@ -80,6 +82,7 @@ def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
                 "label": unit.label,
                 "wall_s": round(time.perf_counter() - u_started, 3),
                 "events_fired": Engine.total_events_fired - u_events0,
+                "events_elided": Engine.total_events_elided - u_elided0,
                 "cached": cached,
             })
         table = assemble(fast, results)
@@ -89,10 +92,12 @@ def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
         error = f"{type(exc).__name__}: {exc}"
     wall = time.perf_counter() - started
     events = Engine.total_events_fired - events0
+    elided = Engine.total_events_elided - elided0
     row = {
         "exp_id": exp_id,
         "wall_s": round(wall, 3),
         "events_fired": events,
+        "events_elided": elided,
         "events_per_sec": round(events / wall) if wall > 0 else 0,
         "scenarios": scenarios,
         "error": error,
@@ -122,6 +127,7 @@ def bench_campaign(ids, fast: bool, check: bool, jobs: int,
             "exp_id": res.exp_id,
             "wall_s": round(res.wall_s, 3),
             "events_fired": res.events_fired,
+            "events_elided": res.events_elided,
             "events_per_sec": round(res.events_fired / res.wall_s)
             if res.wall_s > 0 else 0,
             "scenarios": res.unit_stats,
@@ -135,16 +141,25 @@ def bench_campaign(ids, fast: bool, check: bool, jobs: int,
 
 
 def profile_experiment(exp_id: str, fast: bool) -> int:
-    """cProfile one experiment; print the top 20 by cumulative time."""
+    """cProfile one experiment; print the top 20 by cumulative time and
+    the engine's per-callback attribution table (fired/cancelled/elided
+    per callsite — where the event budget actually goes)."""
     import cProfile
     import pstats
 
+    Engine.profile_reset()
+    Engine.profiling = True
     profiler = cProfile.Profile()
     profiler.enable()
-    run_experiment(exp_id, fast=fast)
-    profiler.disable()
+    try:
+        run_experiment(exp_id, fast=fast)
+    finally:
+        profiler.disable()
+        Engine.profiling = False
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats("cumulative").print_stats(20)
+    print()
+    print(Engine.profile_table())
     return 0
 
 
@@ -199,6 +214,7 @@ def main(argv=None) -> int:
                           f"{res['cache']['misses']}m")
         print(f"{res['exp_id']:8s} {res['wall_s']:8.2f}s "
               f"{res['events_fired']:>12,d} ev "
+              f"{res.get('events_elided', 0):>11,d} el "
               f"{res['events_per_sec']:>10,d} ev/s{cache_note}  [{status}]",
               flush=True)
 
@@ -212,6 +228,9 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "total_wall_s": round(sum(r["wall_s"] for r in results), 3),
         "total_events_fired": sum(r["events_fired"] for r in results),
+        "total_events_elided": sum(r.get("events_elided", 0)
+                                   for r in results),
+        "tickless": os.environ.get("VSCHED_REPRO_TICKLESS", "1") != "0",
         "supervisor": supervisor,
         "experiments": results,
     }
@@ -226,7 +245,8 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {out}: {report['total_wall_s']:.1f}s total, "
-          f"{report['total_events_fired']:,d} events"
+          f"{report['total_events_fired']:,d} events fired, "
+          f"{report['total_events_elided']:,d} elided"
           + (f", cache {cache.hits}h/{cache.misses}m" if cache else ""))
 
     failures = [r["exp_id"] for r in results if r["error"]]
