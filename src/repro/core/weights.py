@@ -1,0 +1,27 @@
+"""CFS nice-to-weight arithmetic, shared by host and guest.
+
+Pure arithmetic with no scheduler state: the kernel's
+``sched_prio_to_weight`` table and the ×1.25-per-nice-step interpolation.
+Both the hypervisor (host entity weights) and the guest-side probers
+(vtop/vcap reason about the weight of their own guest tasks) need it, so
+it lives here as a layer-neutral module — ``vschedlint`` allows it to be
+imported from any layer (``NEUTRAL_MODULES``).
+"""
+
+from __future__ import annotations
+
+#: CFS weight of a nice-0 task.
+NICE0_WEIGHT = 1024
+
+#: CFS nice-to-weight table (subset, matching kernel sched_prio_to_weight).
+NICE_TO_WEIGHT = {
+    -20: 88761, -15: 29154, -10: 9548, -5: 3121, -1: 1277,
+    0: 1024, 1: 820, 5: 335, 10: 110, 15: 36, 19: 15,
+}
+
+
+def weight_for_nice(nice: int) -> int:
+    """Weight for a nice level, interpolating the kernel table."""
+    if nice in NICE_TO_WEIGHT:
+        return NICE_TO_WEIGHT[nice]
+    return max(3, int(NICE0_WEIGHT / (1.25 ** nice)))

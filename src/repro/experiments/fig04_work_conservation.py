@@ -27,7 +27,7 @@ from repro.cluster import attach_scheduler, build_plain_vm, make_context, run_to
 from repro.experiments.common import Table
 from repro.experiments.units import WorkUnit, execute_serial
 from repro.guest.task import Policy
-from repro.hypervisor.entity import weight_for_nice
+from repro.core.weights import weight_for_nice
 from repro.sim.engine import MSEC, SEC, USEC
 from repro.workloads import build_parsec
 

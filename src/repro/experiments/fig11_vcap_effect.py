@@ -42,7 +42,7 @@ def _build(asymmetric: bool):
     # Real multi-tenant hosts always have some — it is what makes the
     # tick-grained steal-based capacity estimate twitchy (a single noisy
     # tick craters the estimate), while vcap's 100 ms windows smooth it.
-    from repro.hypervisor.entity import weight_for_nice
+    from repro.core.weights import weight_for_nice
     for i in range(16):
         env.machine.add_host_task(
             f"hk{i}", weight=weight_for_nice(-10), pinned=(i,),

@@ -23,7 +23,7 @@ from typing import Dict, List
 from repro.cluster import attach_scheduler, build_plain_vm, make_context
 from repro.experiments.common import Table
 from repro.experiments.units import WorkUnit, execute_serial
-from repro.hypervisor.entity import weight_for_nice
+from repro.core.weights import weight_for_nice
 from repro.sim.engine import MSEC, SEC
 from repro.workloads import NginxServer
 

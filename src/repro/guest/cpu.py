@@ -107,7 +107,7 @@ class GuestCpu:
     # ------------------------------------------------------------------
     # Host-side callbacks (from VCpuThread)
     # ------------------------------------------------------------------
-    def host_resumed(self, now: int, rate: float) -> None:
+    def host_resumed(self, now: int, rate: float) -> None:  # vschedlint: disable=elision-sync -- resume IS the materialization point: end_wait closed the steal interval, and collapsing overdue ticks to `now` here is the replay arithmetic itself (INTERNALS §11)
         self.rate = rate
         self._seg_update = now
         self.halted = False
@@ -282,7 +282,7 @@ class GuestCpu:
         finally:
             self._in_sched = False
 
-    def _dispatch_loop(self, now: int, tried_newidle: bool) -> None:
+    def _dispatch_loop(self, now: int, tried_newidle: bool) -> None:  # vschedlint: disable=elision-sync -- only reached from _dispatch/_segment_done, both of which _catch_up() before calling; writing _seg_update=now opens the new segment
         while True:
             nxt = self.rq.pick_next()
             if nxt is None:
@@ -386,7 +386,7 @@ class GuestCpu:
         self.last_tick_time = now
         self._check_slice_preemption(now)
 
-    def _tick_horizon(self, base: int) -> int:
+    def _tick_horizon(self, base: int) -> int:  # vschedlint: disable=elision-sync -- pure function of already-materialized state: every caller (_retick, host_resumed, _tick) holds the catch-up invariant when computing the horizon
         """First tick instant >= ``base`` that may have side effects.
 
         Ticks strictly before the returned instant are pure per-CPU

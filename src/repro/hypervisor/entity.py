@@ -18,21 +18,13 @@ from __future__ import annotations
 import enum
 from typing import Optional, Tuple
 
-#: CFS weight of a nice-0 task.
-NICE0_WEIGHT = 1024
-
-#: CFS nice-to-weight table (subset, matching kernel sched_prio_to_weight).
-NICE_TO_WEIGHT = {
-    -20: 88761, -15: 29154, -10: 9548, -5: 3121, -1: 1277,
-    0: 1024, 1: 820, 5: 335, 10: 110, 15: 36, 19: 15,
-}
-
-
-def weight_for_nice(nice: int) -> int:
-    """Weight for a nice level, interpolating the kernel table."""
-    if nice in NICE_TO_WEIGHT:
-        return NICE_TO_WEIGHT[nice]
-    return max(3, int(NICE0_WEIGHT / (1.25 ** nice)))
+# Re-exported for backward compatibility; the table lives in the
+# layer-neutral repro.core.weights so guest-side probers can share it.
+from repro.core.weights import (  # noqa: F401
+    NICE0_WEIGHT,
+    NICE_TO_WEIGHT,
+    weight_for_nice,
+)
 
 
 class EntityState(enum.Enum):

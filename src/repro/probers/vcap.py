@@ -30,7 +30,7 @@ from repro.core.module import VSchedModule
 from repro.guest.cgroup import TaskGroup
 from repro.guest.kernel import GuestKernel
 from repro.guest.task import Policy, Task
-from repro.hypervisor.entity import weight_for_nice
+from repro.core.weights import weight_for_nice
 from repro.sim.engine import MSEC, SEC, USEC
 
 
@@ -103,8 +103,13 @@ class VCap:
         def spawn_one(c: int) -> None:
             if stop_flag[0]:
                 return
+            cpu = self.kernel.cpus[c]
+            # Materialize elided ticks before baselining: preempt_count is
+            # tick-replayed state, and this callback fires mid-run where no
+            # engine sync hook has intervened.
+            cpu._catch_up()
             steal_before[c] = self.kernel.steal_of(c)
-            preempt_before[c] = self.kernel.cpus[c].preempt_count
+            preempt_before[c] = cpu.preempt_count
             spawn_time[c] = self.kernel.now()
             policy = Policy.NORMAL if heavy else Policy.IDLE
             weight = self.heavy_weight if heavy else None

@@ -26,7 +26,7 @@ from repro.core.module import VSchedModule
 from repro.guest.cgroup import TaskGroup
 from repro.guest.kernel import GuestKernel
 from repro.guest.task import Policy
-from repro.hypervisor.entity import weight_for_nice
+from repro.core.weights import weight_for_nice
 from repro.sim.engine import MSEC, SEC, USEC
 
 #: Classification outcomes for a measured pair latency.

@@ -298,9 +298,14 @@ class Engine:
 
     @classmethod
     def profile_table(cls, top: int = 15) -> str:
-        """Render the hot-callback table (sorted by fired, descending)."""
+        """Render the hot-callback table (sorted by fired, descending).
+
+        The key is total (name breaks fired-count ties): registration
+        order differs between elided and eager runs, so an insertion-order
+        tiebreak would render A/B-divergent tables.
+        """
         rows = sorted(cls.profile_data.items(),
-                      key=lambda kv: kv[1][0], reverse=True)[:top]
+                      key=lambda kv: (-kv[1][0], kv[0]))[:top]
         width = max([len(name) for name, _ in rows] + [8])
         lines = [f"{'callback':<{width}} {'fired':>12} {'cancelled':>12} "
                  f"{'elided':>12}"]

@@ -1,0 +1,15 @@
+"""Fixture: wall-clock reads are banned even in the experiments layer.
+
+Expected findings: wall-clock (x2).
+"""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def label() -> str:
+    return datetime.now().isoformat()

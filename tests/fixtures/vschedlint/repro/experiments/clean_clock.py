@@ -1,0 +1,16 @@
+"""Fixture: monotonic clocks are allowed in the experiments layer.
+
+Must produce no findings: time.monotonic()/perf_counter() measure real
+host time for deadlines and progress, which is the experiments layer's
+job.  (time.time() would still be flagged — that is bad_wallclock.py.)
+"""
+
+import time
+
+
+def deadline_in(seconds: float) -> float:
+    return time.monotonic() + seconds
+
+
+def elapsed(t0: float) -> float:
+    return time.perf_counter() - t0

@@ -1,0 +1,13 @@
+"""Fixture: tick-replayed state touched without materialization.
+
+Expected findings: elision-sync (x2) — one read and one write of
+registered fields with no prior _catch_up()/sync_ticks() in the function.
+"""
+
+
+class Sampler:
+    def read_stale(self):
+        return self._tick_due
+
+    def write_stale(self, now):
+        self.last_tick_time = now

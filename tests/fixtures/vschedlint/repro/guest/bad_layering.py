@@ -1,0 +1,16 @@
+"""Fixture: layering violations.
+
+Expected findings:
+* layer-order (x1) — guest (rank 3) importing experiments (rank 6).
+* guest-isolation (x2) — guest layer importing repro.hypervisor.
+* guest-abi (x1) — reaching past the vCPU ABI for host entity state.
+"""
+
+from repro.experiments.cli import main            # layer-order
+from repro.hypervisor.entity import HostEntity    # guest-isolation
+from repro.hypervisor.machine import Machine      # guest-isolation
+
+
+def peek_host_queue(vm):
+    vcpu = vm.vcpus[0]
+    return vcpu.entity.vruntime                   # guest-abi: oracle read

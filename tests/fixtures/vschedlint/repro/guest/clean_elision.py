@@ -1,0 +1,19 @@
+"""Fixture: elision-disciplined access — no findings.
+
+Every touch of a registered field happens after a sync call, and
+__init__ may initialize fields freely.
+"""
+
+
+class Sampler:
+    def __init__(self):
+        self._tick_due = 0
+        self.last_tick_time = 0
+
+    def read_synced(self):
+        self._catch_up()
+        return self._tick_due
+
+    def sweep(self, kernel):
+        kernel.sync_ticks()
+        return [c.preempt_count for c in kernel.cpus]

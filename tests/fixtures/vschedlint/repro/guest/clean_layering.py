@@ -1,0 +1,12 @@
+"""Fixture: layering-clean guest module — must produce no findings."""
+
+from repro.core.weights import weight_for_nice
+from repro.sim.engine import MSEC
+
+
+def observe(vm):
+    vcpu = vm.vcpus[0]
+    vcpu.kick()
+    lat = vm.machine.cache.base_latency
+    d = vm.machine.topology.distance(0, 1)
+    return vcpu.steal_ns + vcpu.active + lat + d + weight_for_nice(0) + MSEC

@@ -1,0 +1,10 @@
+"""Fixture: hypervisor (rank 2) importing guest (rank 3).
+
+Expected findings: layer-order (x1).
+"""
+
+from repro.guest.task import Task
+
+
+def wrap(t: Task):
+    return t

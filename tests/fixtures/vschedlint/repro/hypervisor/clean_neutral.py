@@ -1,0 +1,11 @@
+"""Fixture: neutral-module import from a lower-ranked layer — clean.
+
+repro.core.weights is rank 3 by package but declared layer-neutral, so the
+hypervisor (rank 2) may import it without a layer-order finding.
+"""
+
+from repro.core.weights import NICE0_WEIGHT, weight_for_nice
+
+
+def default_weight() -> int:
+    return weight_for_nice(0) or NICE0_WEIGHT

@@ -1,0 +1,6 @@
+"""Fixture: module in a subpackage missing from the layer graph.
+
+Expected findings: layer-unknown (x1).
+"""
+
+VALUE = 1

@@ -1,0 +1,34 @@
+"""Fixture: determinism violations in a simulation layer.
+
+Expected findings:
+* wall-clock (x2) — time.time() and time.monotonic() (sim layer).
+* unseeded-rng (x2) — random.random() and np.random.rand().
+* identity-key (x1) — id() as a sort key.
+* unordered-iter (x2) — set iteration into call_at; set comprehension
+  iterating a set-typed parameter into a list.
+"""
+
+import random
+import time
+
+
+def stamp():
+    return time.time() + time.monotonic()
+
+
+def draw(np):
+    return random.random() + np.random.rand()
+
+
+def ranked(items):
+    return sorted(items, key=lambda t: id(t))
+
+
+def schedule_all(engine, pending):
+    ready = set(pending)
+    for item in ready:
+        engine.call_at(0, item)
+
+
+def snapshot(flags: set):
+    return [f for f in flags]

@@ -1,0 +1,29 @@
+"""Fixture: determinism-clean simulation module — no findings.
+
+Set iterations feed only order-insensitive consumers, randomness goes
+through the sanctioned factory, and ordering keys are total.
+"""
+
+from repro.sim.rng import make_rng
+
+
+def draw(seed: int) -> int:
+    rng = make_rng(seed)
+    return int(rng.integers(10))
+
+
+def ordered(pending) -> list:
+    return sorted(set(pending))
+
+
+def count_live(flags: set) -> int:
+    return sum(1 for f in flags if f)
+
+
+def extremes(values: frozenset):
+    return min(values), max(values), len(values)
+
+
+def schedule_sorted(engine, waiters: set) -> None:
+    for w in sorted(waiters):
+        engine.call_in(1, w)

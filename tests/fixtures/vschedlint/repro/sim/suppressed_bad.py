@@ -1,0 +1,21 @@
+"""Fixture: broken suppressions.
+
+Expected findings:
+* bad-suppression (x2) — missing reason; unknown rule.
+* wall-clock (x1) — the reasonless suppression does not silence.
+* unused-suppression (x1) — a valid suppression matching nothing.
+"""
+
+import time
+
+
+def no_reason():
+    return time.time()  # vschedlint: disable=wall-clock
+
+
+def unknown_rule():
+    return 1  # vschedlint: disable=not-a-rule -- reason present but rule bogus
+
+
+def unused():
+    return 2  # vschedlint: disable=wall-clock -- nothing here to silence

@@ -1,0 +1,17 @@
+"""Fixture: valid suppressions — no findings.
+
+A same-line suppression silences that line; a def-line suppression covers
+the whole function body.
+"""
+
+import time
+
+
+def stamped():
+    return time.time()  # vschedlint: disable=wall-clock -- fixture: sanctioned display-only read
+
+
+def covered():  # vschedlint: disable=wall-clock -- fixture: whole-function scope
+    a = time.time()
+    b = time.time()
+    return a + b

@@ -169,6 +169,19 @@ class TestProfiler:
         eng.run_until(10)
         assert Engine.profile_data == {}
 
+    def test_table_order_is_insertion_independent(self):
+        # Registration order differs between elided and eager runs, so a
+        # fired-count tie must break by name, not by insertion order.
+        Engine.profile_reset()
+        Engine.profile_data = {"b": [5, 0, 0], "a": [5, 0, 0], "c": [7, 0, 0]}
+        t1 = Engine.profile_table()
+        Engine.profile_data = {"c": [7, 0, 0], "a": [5, 0, 0], "b": [5, 0, 0]}
+        t2 = Engine.profile_table()
+        Engine.profile_reset()
+        assert t1 == t2
+        names = [line.split()[0] for line in t1.splitlines()[1:]]
+        assert names == ["c", "a", "b"]
+
 
 def test_sync_hooks_run_after_each_run():
     eng = Engine()
@@ -259,3 +272,43 @@ def test_experiment_tables_byte_identical_with_elision(exp_id, monkeypatch):
     assert on == off, f"{exp_id}: table diverged under elision"
     assert elided > 0
     assert fired_on < fired_off
+
+
+# ----------------------------------------------------------------------
+# Mid-run observers must materialize elided state before baselining
+# ----------------------------------------------------------------------
+def test_vcap_window_baselines_identical_with_elision(monkeypatch):
+    """vcap's staggered spawn_one baselines steal/preempt from a mid-run
+    callback, where no engine sync hook has intervened; it must
+    _catch_up() first so elided runs capture exactly the baselines eager
+    runs do."""
+    from repro.cluster import attach_scheduler
+    from repro.probers.vcap import VCap
+
+    orig = VCap._end_window
+
+    def run(tickless):
+        monkeypatch.setenv("VSCHED_REPRO_TICKLESS", "1" if tickless else "0")
+        env = build_plain_vm(2)
+        env.machine.add_host_task("tenant", pinned=(0,))
+        attach_scheduler(env, "enhanced",
+                         overrides={"enable_vtop": False,
+                                    "enable_rwc": False})
+        log = []
+
+        def spy(self, heavy, cpus, stop_flag, probers, steal_before,
+                preempt_before, spawn_time):
+            log.append((heavy, sorted(steal_before.items()),
+                        sorted(preempt_before.items()),
+                        sorted(spawn_time.items())))
+            return orig(self, heavy, cpus, stop_flag, probers,
+                        steal_before, preempt_before, spawn_time)
+
+        monkeypatch.setattr(VCap, "_end_window", spy)
+        env.engine.run_until(5 * SEC)
+        return log
+
+    on = run(True)
+    off = run(False)
+    assert len(on) >= 5
+    assert on == off

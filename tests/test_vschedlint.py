@@ -1,0 +1,188 @@
+"""vschedlint: rule families, suppression/baseline semantics, tree health.
+
+The checker ships from ``tools/`` (it is a dev tool, not simulation code),
+so the tests put that directory on ``sys.path`` themselves.
+"""
+
+import json
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOOLS = REPO / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+from vschedlint import baseline as baseline_mod  # noqa: E402
+from vschedlint.checker import lint_paths  # noqa: E402
+from vschedlint.findings import RULES, finalize_fingerprints  # noqa: E402
+
+FIXTURES = Path(__file__).parent / "fixtures" / "vschedlint" / "repro"
+SHIPPED_BASELINE = TOOLS / "vschedlint" / "baseline.json"
+
+
+def lint_fixture(relpath):
+    return lint_paths([str(FIXTURES / relpath)])
+
+
+def rules_of(findings):
+    return Counter(f.rule for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Rule families: each must fire on its bad fixture and stay quiet on the
+# clean one.
+# ----------------------------------------------------------------------
+class TestLayeringRules:
+    def test_bad_layering_fixture(self):
+        got = rules_of(lint_fixture("guest/bad_layering.py"))
+        assert got == {"layer-order": 1, "guest-isolation": 2,
+                       "guest-abi": 1}
+
+    def test_clean_guest_module(self):
+        assert lint_fixture("guest/clean_layering.py") == []
+
+    def test_upward_import_flagged(self):
+        got = rules_of(lint_fixture("hypervisor/bad_order.py"))
+        assert got == {"layer-order": 1}
+
+    def test_neutral_module_exempt(self):
+        assert lint_fixture("hypervisor/clean_neutral.py") == []
+
+    def test_unknown_layer(self):
+        got = rules_of(lint_fixture("mystery/widget.py"))
+        assert got == {"layer-unknown": 1}
+
+
+class TestDeterminismRules:
+    def test_bad_determinism_fixture(self):
+        got = rules_of(lint_fixture("sim/bad_determinism.py"))
+        assert got == {"wall-clock": 2, "unseeded-rng": 2,
+                       "identity-key": 1, "unordered-iter": 2}
+
+    def test_clean_determinism_fixture(self):
+        assert lint_fixture("sim/clean_determinism.py") == []
+
+    def test_monotonic_allowed_in_experiments(self):
+        assert lint_fixture("experiments/clean_clock.py") == []
+
+    def test_wallclock_banned_everywhere(self):
+        got = rules_of(lint_fixture("experiments/bad_wallclock.py"))
+        assert got == {"wall-clock": 2}
+
+
+class TestElisionRules:
+    def test_bad_elision_fixture(self):
+        findings = lint_fixture("guest/bad_elision.py")
+        assert rules_of(findings) == {"elision-sync": 2}
+        assert {f.symbol for f in findings} == {
+            "Sampler.read_stale", "Sampler.write_stale"}
+
+    def test_clean_elision_fixture(self):
+        assert lint_fixture("guest/clean_elision.py") == []
+
+
+# ----------------------------------------------------------------------
+# Suppression semantics
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_valid_suppressions_silence(self):
+        assert lint_fixture("sim/suppressed_ok.py") == []
+
+    def test_broken_suppressions(self):
+        got = rules_of(lint_fixture("sim/suppressed_bad.py"))
+        assert got == {"bad-suppression": 2, "wall-clock": 1,
+                       "unused-suppression": 1}
+
+    def test_meta_rules_unsuppressable(self, tmp_path):
+        mod = tmp_path / "repro" / "sim" / "sneaky.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "def f():\n"
+            "    return 1  # vschedlint: disable=bad-suppression -- nope\n")
+        got = rules_of(lint_paths([str(mod)]))
+        assert got == {"bad-suppression": 1}
+
+
+# ----------------------------------------------------------------------
+# Baseline semantics
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_roundtrip_marks_baselined(self, tmp_path):
+        findings = lint_fixture("sim/bad_determinism.py")
+        assert findings
+        bl = tmp_path / "baseline.json"
+        n = baseline_mod.write_baseline(findings, bl)
+        assert n == len(findings)
+
+        fresh = lint_fixture("sim/bad_determinism.py")
+        entries = baseline_mod.load_baseline(bl)
+        baseline_mod.apply_baseline(fresh, entries, str(bl))
+        assert all(f.baselined for f in fresh)
+
+    def test_stale_entry_reported(self, tmp_path):
+        findings = lint_fixture("sim/bad_determinism.py")
+        bl = tmp_path / "baseline.json"
+        baseline_mod.write_baseline(findings, bl)
+
+        clean = lint_fixture("sim/clean_determinism.py")
+        entries = baseline_mod.load_baseline(bl)
+        baseline_mod.apply_baseline(clean, entries, str(bl))
+        got = rules_of(clean)
+        assert got["stale-baseline"] == len(findings)
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        src = (FIXTURES / "sim" / "bad_determinism.py").read_text()
+        a = tmp_path / "a" / "repro" / "sim" / "mod.py"
+        b = tmp_path / "b" / "repro" / "sim" / "mod.py"
+        a.parent.mkdir(parents=True)
+        b.parent.mkdir(parents=True)
+        a.write_text(src)
+        b.write_text("# shifted\n" * 7 + src)
+        fps_a = [f.fingerprint for f in lint_paths([str(a)])]
+        fps_b = [f.fingerprint for f in lint_paths([str(b)])]
+        assert fps_a and fps_a == fps_b
+
+
+# ----------------------------------------------------------------------
+# CLI and shipped-tree health
+# ----------------------------------------------------------------------
+def run_cli(*args):
+    env = {"PYTHONPATH": f"{REPO / 'src'}:{TOOLS}", "PATH": "/usr/bin:/bin"}
+    return subprocess.run(
+        [sys.executable, "-m", "vschedlint", *args],
+        cwd=REPO, env=env, capture_output=True, text=True)
+
+
+class TestCli:
+    def test_json_output_on_violations(self):
+        proc = run_cli("--format", "json", "--no-baseline",
+                       str(FIXTURES / "sim" / "bad_determinism.py"))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["counts"]["active"] == 7
+        assert payload["counts"]["by_family"] == {"determinism": 7}
+        assert all(f["fingerprint"] for f in payload["findings"])
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for slug in RULES:
+            assert slug in proc.stdout
+
+
+class TestShippedTree:
+    def test_src_repro_is_clean_modulo_baseline(self):
+        findings = lint_paths([str(REPO / "src" / "repro")])
+        entries = baseline_mod.load_baseline(SHIPPED_BASELINE)
+        baseline_mod.apply_baseline(findings, entries,
+                                    str(SHIPPED_BASELINE))
+        active = [f.render() for f in findings if not f.baselined]
+        assert active == []
+
+    def test_cli_exits_zero_on_shipped_tree(self):
+        proc = run_cli("src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout or "baselined" in proc.stdout

@@ -1,0 +1,31 @@
+"""vschedlint: static invariant checker for the vSched reproduction.
+
+The simulator's correctness rests on three contracts that ordinary tests
+cannot see being *almost* violated:
+
+* **Layering / guest isolation** — the paper's central claim is "no
+  hypervisor changes": guest-side code (``guest``/``core``/``probers``/
+  ``workloads``) may observe host state only through the interfaces a real
+  KVM guest has (steal time, halt/kick, its own timestamps, and the
+  physics of measurements it can perform, like cache-line latency).
+  Reaching into ``repro.hypervisor`` for anything else is an oracle read
+  that silently invalidates the reproduction.
+* **Determinism** — the A/B harness (``tools/abdiff.py``), the result
+  cache, and the chaos drills all assume byte-identical replays.  A single
+  wall-clock read, unseeded RNG draw, object-identity sort key, or
+  unordered ``set`` iteration feeding the event heap breaks that quietly.
+* **Tickless catch-up discipline** — tick elision (INTERNALS §11) is only
+  sound if every reader or mutator of tick-replayed state calls
+  ``_catch_up()`` (or a registered sync hook) first.
+
+``vschedlint`` walks the AST of ``src/repro`` and enforces all three.  See
+``docs/INTERNALS.md`` §12 for the rule catalogue, the suppression syntax
+(``# vschedlint: disable=<rule> -- <reason>``), and baseline semantics.
+"""
+
+from vschedlint.checker import lint_paths
+from vschedlint.findings import Finding, RULES
+
+__version__ = "1.0.0"
+
+__all__ = ["lint_paths", "Finding", "RULES", "__version__"]

@@ -1,0 +1,5 @@
+import sys
+
+from vschedlint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,62 @@
+"""Baseline: accepted pre-existing findings, keyed by fingerprint.
+
+The baseline may only shrink.  Each entry records the finding's rule and
+message at acceptance time; a finding whose fingerprint is in the baseline
+is reported as ``baselined`` and does not fail the run.  An entry that no
+longer matches any finding is a ``stale-baseline`` finding — it must be
+deleted (the violation is gone; keeping the entry would let it return).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from vschedlint.findings import Finding
+
+VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    if data.get("version") != VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}")
+    return data.get("entries", {})
+
+
+def apply_baseline(findings: List[Finding], entries: Dict[str, dict],
+                   baseline_path: str) -> None:
+    """Mark baselined findings; append stale-baseline findings in place."""
+    matched = set()
+    for f in findings:
+        if f.fingerprint in entries:
+            f.baselined = True
+            matched.add(f.fingerprint)
+    for fp, entry in sorted(entries.items()):
+        if fp not in matched:
+            findings.append(Finding(
+                "stale-baseline", baseline_path, 1, 0,
+                f"baseline entry {fp} ({entry.get('rule', '?')}: "
+                f"{entry.get('message', '?')}) matches no current finding; "
+                f"delete it — the baseline may only shrink"))
+
+
+def write_baseline(findings: List[Finding], path: Path) -> int:
+    """Write all non-meta findings as the new baseline; returns the count."""
+    entries = {
+        f.fingerprint: {
+            "rule": f.rule,
+            "module": f.modname,
+            "symbol": f.symbol,
+            "message": f.message,
+        }
+        for f in findings
+        if f.fingerprint  # meta findings carry no fingerprint
+    }
+    payload = {"version": VERSION, "entries": dict(sorted(entries.items()))}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)

@@ -1,0 +1,126 @@
+"""Module discovery and the per-file rule pipeline."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from vschedlint import config, determinism, elision, layering
+from vschedlint.findings import Finding, finalize_fingerprints
+from vschedlint.suppressions import apply_suppressions, scan_suppressions
+
+
+class Module:
+    """One parsed source file plus the indexes the rules share."""
+
+    def __init__(self, path: Path, display_path: str, modname: str):
+        self.path = display_path
+        self.modname = modname
+        self.source = path.read_text()
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=display_path)
+        parts = modname.split(".")
+        self.layer: Optional[str] = parts[1] if len(parts) > 1 else None
+        self._index_functions()
+
+    def _index_functions(self) -> None:
+        """Build (def node, qualname) pairs and a line -> def-lines map."""
+        self._functions: List[Tuple[ast.AST, str]] = []
+        spans: List[Tuple[int, int, int, str]] = []
+
+        def walk(node, prefix):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}{child.name}"
+                    self._functions.append((child, qual))
+                    spans.append((child.lineno, child.end_lineno or
+                                  child.lineno, child.lineno, qual))
+                    walk(child, qual + ".")
+                elif isinstance(child, ast.ClassDef):
+                    walk(child, f"{prefix}{child.name}.")
+                else:
+                    walk(child, prefix)
+
+        walk(self.tree, "")
+        self._spans = sorted(spans)
+
+    def functions(self):
+        return list(self._functions)
+
+    def symbol_at(self, line: int) -> str:
+        """Qualname of the innermost function containing ``line``."""
+        best = ""
+        for start, end, _, qual in self._spans:
+            if start <= line <= end:
+                best = qual  # spans are sorted; later matches are inner
+        return best
+
+    def def_lines_of(self, line: int) -> List[int]:
+        """Def lines of all functions enclosing ``line``, innermost first."""
+        hits = [(start, dl) for start, end, dl, _ in self._spans
+                if start <= line <= end]
+        return [dl for _, dl in sorted(hits, reverse=True)]
+
+
+def _modname_for(path: Path) -> Optional[str]:
+    """Dotted module name, anchored at the last ``repro`` path component."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    mod = parts[idx:]
+    if mod[-1] == "__init__":
+        mod = mod[:-1]
+    return ".".join(mod)
+
+
+def discover(paths: Iterable[str]) -> List[Tuple[Path, str]]:
+    """Expand CLI paths into (file, display_path) pairs, sorted."""
+    out = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" in f.parts:
+                    continue
+                out.append((f, str(f)))
+        elif p.suffix == ".py":
+            out.append((p, str(p)))
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+    return out
+
+
+def lint_module(path: Path, display_path: str) -> List[Finding]:
+    modname = _modname_for(path)
+    if modname is None:
+        return []  # not inside a repro package tree; nothing to check
+    try:
+        module = Module(path, display_path, modname)
+    except SyntaxError as exc:
+        return [Finding("layer-unknown", display_path, exc.lineno or 1, 0,
+                        f"cannot parse: {exc.msg}", modname=modname)]
+
+    findings: List[Finding] = []
+    layering.check_imports(module, findings)
+    layering.check_guest_abi(module, findings)
+    determinism.check_clocks_and_rng(module, findings)
+    determinism.check_unordered_iteration(module, findings)
+    elision.check_elision_sync(module, findings)
+
+    suppressions = scan_suppressions(module.lines, display_path, findings)
+    def_line_map: Dict[int, List[int]] = {
+        f.line: module.def_lines_of(f.line) for f in findings}
+    return apply_suppressions(findings, suppressions, def_line_map,
+                              display_path)
+
+
+def lint_paths(paths: Iterable[str]) -> List[Finding]:
+    """Lint files/directories; returns findings with fingerprints set."""
+    findings: List[Finding] = []
+    for path, display in discover(paths):
+        findings.extend(lint_module(path, display))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    finalize_fingerprints(findings)
+    return findings

@@ -1,0 +1,85 @@
+"""Command-line entry point.
+
+Exit codes: 0 clean (modulo baseline), 1 findings, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from vschedlint import baseline as baseline_mod
+from vschedlint import report
+from vschedlint.checker import lint_paths
+from vschedlint.findings import RULES
+
+DEFAULT_PATHS = ["src/repro"]
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _list_rules() -> str:
+    lines = []
+    for slug, (rule_id, family, desc) in sorted(
+            RULES.items(), key=lambda kv: kv[1][0]):
+        lines.append(f"{rule_id}  {slug:<20} [{family}] {desc}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vschedlint",
+        description="Static invariant checker for the vSched reproduction: "
+                    "layering/guest isolation, determinism, and tickless "
+                    "catch-up discipline.")
+    parser.add_argument("paths", nargs="*", default=DEFAULT_PATHS,
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file (default: the checked-in one)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into --baseline "
+                             "and exit 0")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="list baselined findings in text output")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        findings = lint_paths(args.paths)
+    except (FileNotFoundError, OSError) as exc:
+        print(f"vschedlint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        n = baseline_mod.write_baseline(findings, args.baseline)
+        print(f"wrote {n} entr{'y' if n == 1 else 'ies'} to {args.baseline}")
+        return 0
+
+    if not args.no_baseline:
+        try:
+            entries = baseline_mod.load_baseline(args.baseline)
+        except (ValueError, OSError) as exc:
+            print(f"vschedlint: {exc}", file=sys.stderr)
+            return 2
+        baseline_mod.apply_baseline(findings, entries, str(args.baseline))
+
+    if args.format == "json":
+        print(report.render_json(findings))
+    elif args.show_baselined:
+        print(report.render_text_full(findings))
+    else:
+        print(report.render_text(findings))
+
+    return 1 if any(not f.baselined for f in findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

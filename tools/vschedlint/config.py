@@ -1,0 +1,173 @@
+"""Declarative configuration: the layer graph, the guest-visible ABI, and
+the elision registry.
+
+Everything the checker enforces is data in this module, so the contracts
+stay reviewable in one place.  Changing a boundary is a one-line diff here
+— and a deliberate one, because this file is what INTERNALS §12 documents.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Layer graph
+# ---------------------------------------------------------------------------
+# Rank order: a module may import only from layers of rank <= its own.
+# (Equal rank = same layer; intra-layer imports are always fine.)
+#
+#   sim -> hw -> hypervisor -> [guest ABI] -> guest/core/probers
+#       -> workloads -> metrics/cluster -> experiments
+LAYER_RANK = {
+    "sim": 0,
+    "hw": 1,
+    "hypervisor": 2,
+    "guest": 3,
+    "core": 3,
+    "probers": 3,
+    "workloads": 4,
+    "metrics": 5,
+    "cluster": 5,
+    "experiments": 6,
+}
+
+#: Layers that are "the guest": they model code running inside the VM and
+#: must not read host-side oracle state (see GUEST ABI below).
+GUEST_SIDE_LAYERS = frozenset({"guest", "core", "probers", "workloads"})
+
+#: The host-side package guest layers may not import from.
+HOST_PACKAGE = "repro.hypervisor"
+
+#: Modules importable from *any* layer, including lower-ranked ones.
+#: ``repro.core.weights`` holds the CFS nice->weight table — pure arithmetic
+#: shared by host entities and guest probers, with no scheduler state.
+NEUTRAL_MODULES = frozenset({
+    "repro.core.weights",
+})
+
+#: Host names guest-side code may import by name (none today: the runtime
+#: ABI below covers every sanctioned channel).  Maps module -> names.
+GUEST_IMPORT_ALLOWLIST: dict = {}
+
+# ---------------------------------------------------------------------------
+# Guest-visible runtime ABI (attribute allowlist)
+# ---------------------------------------------------------------------------
+# Guest-side code holds handles to hypervisor objects (its VCpuThread, the
+# VM, transitively the Machine).  A real Linux guest on KVM sees exactly:
+# steal time, the ability to halt and be kicked, activity transitions (the
+# steal-jump observable), and the physics of measurements it performs
+# itself (cache-line ping-pong latency).  Anything else is an oracle.
+
+#: Attributes guest code may touch on a vCPU handle (``*.vcpu`` or
+#: ``vm.vcpus[i]``).
+VCPU_ABI = frozenset({
+    "active",              # host-activity flag (observable via steal jumps)
+    "steal_ns",            # paravirtual steal time (/proc/stat steal)
+    "halt",                # guest idle -> host blocks the thread
+    "kick",                # wake a halted vCPU (IPI)
+    "guest_cpu",           # guest attach point (set by the guest kernel)
+    "last_thread",         # hosting hw thread: physics input, below
+    "activity_listeners",  # transition callbacks (vtop's event-driven probe)
+    "index",
+})
+
+#: Attributes guest code may touch on the VM handle.
+VM_ABI = frozenset({"vcpus", "machine", "kernel", "name"})
+
+#: Attributes guest code may touch on the Machine handle, and — for the
+#: physics channels — which sub-attributes.  ``topology.distance`` and the
+#: cache model parameterize effects a guest *measures* (cache-line transfer
+#: latency, IPI cost, coherence stalls); the guest never reads them for
+#: answers, only to simulate the measurement a real guest performs.
+MACHINE_ABI = frozenset({"engine", "tracer", "topology", "cache"})
+MACHINE_TOPOLOGY_ABI = frozenset({"distance"})
+MACHINE_CACHE_ABI = frozenset({"base_latency", "stall_cycles", "sample_latency"})
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+#: The one module allowed to construct numpy generators: everything else
+#: must route through repro.sim.rng.make_rng / split_rng.
+RNG_FACTORY_MODULE = "repro.sim.rng"
+
+#: Wall-clock calls that are never acceptable inside src/repro.
+WALLCLOCK_FORBIDDEN = {
+    ("time", "time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: Monotonic/process clocks: meaningless in simulated time, so forbidden in
+#: simulation layers; the experiments layer legitimately measures host
+#: elapsed time with them (supervisor deadlines, progress lines).
+MONOTONIC_FORBIDDEN = {
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("time", "process_time"),
+}
+MONOTONIC_EXEMPT_LAYERS = frozenset({"experiments"})
+
+#: Ordering-sensitive sinks: a dict-view iteration in a function that also
+#: schedules events or pushes heap entries gets flagged.
+ORDERING_SINKS = frozenset({"call_at", "call_in", "heappush", "heapify"})
+
+#: The dict-view+sink heuristic targets the *simulation* event heap.  The
+#: experiments layer runs real subprocesses against real (monotonic)
+#: deadlines; its heaps are host-time backoff queues, and CPython dict
+#: views iterate in deterministic insertion order anyway.
+ORDERING_SINK_EXEMPT_LAYERS = frozenset({"experiments"})
+
+#: Builtins whose result does not depend on iteration order; set iteration
+#: feeding only these is fine.
+ORDER_INSENSITIVE_CONSUMERS = frozenset({
+    "sorted", "set", "frozenset", "any", "all", "sum", "len", "min", "max",
+})
+
+# ---------------------------------------------------------------------------
+# Elision registry
+# ---------------------------------------------------------------------------
+#: Fields whose value is maintained by (possibly elided) ticks and
+#: materialized by GuestCpu._catch_up / the engine sync hook.  Any function
+#: in src/repro that reads or writes one of these must call a sync method
+#: first (textually earlier in its body).
+ELISION_FIELDS = frozenset({
+    # GuestCpu tick/segment state (guest/cpu.py)
+    "_tick_due", "_seg_update", "last_tick_time",
+    # vact kernel-side instrumentation, stamped by tick_accounting
+    "last_heartbeat", "tick_steal_last", "preempt_count", "active_since_est",
+    # default-CFS capacity estimate, decayed per tick
+    "cfs_capacity", "steal_frac_avg", "_cap_touch",
+    # Machine elided-timer state (hypervisor/machine.py)
+    "_balance_next", "_core_ramp_goal",
+})
+
+#: Calls that count as "the state is materialized from here on".
+ELISION_SYNC_CALLS = frozenset({
+    "_catch_up",            # per-CPU replay (GuestCpu)
+    "sync_ticks",           # kernel-wide replay (GuestKernel, engine hook)
+    "_note_host_waiting",   # host balance-grid re-arm (Machine)
+})
+
+#: Functions allowed to touch registered fields without syncing, because
+#: they *are* the elision machinery (replay primitives, timer callbacks
+#: that own the state) or constructors.  Qualnames, matched per module.
+ELISION_EXEMPT = {
+    "repro.guest.cpu": {
+        "GuestCpu._catch_up",      # the replay loop itself
+        "GuestCpu._integrate",     # replay primitive, called per elided tick
+    },
+    "repro.guest.kernel": {
+        "GuestKernel.tick_accounting",          # the replayed arithmetic
+        "GuestKernel._update_default_capacity",  # called only from it
+    },
+    "repro.hypervisor.machine": {
+        "Machine._start_host_balance",  # grid origin setup
+        "Machine._note_host_waiting",   # the sync hook itself
+        "Machine._host_balance",        # the timer body; advances the grid
+        "Machine._update_dvfs",         # owns the logical-due goal
+        "Machine._dvfs_fire",           # timer body chasing the due
+    },
+}
+
+#: ``__init__`` initializes registered fields everywhere.
+ELISION_EXEMPT_EVERYWHERE = frozenset({"__init__"})

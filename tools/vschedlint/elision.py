@@ -1,0 +1,94 @@
+"""Tickless catch-up discipline (VSL301).
+
+Tick elision (INTERNALS §11) defers per-CPU tick arithmetic and replays it
+on demand: the armed tick event sits at the elision horizon and
+``GuestCpu._catch_up()`` materializes the skipped instants the moment
+anything could observe them.  That is only sound if *every* reader or
+mutator of tick-replayed state syncs first — a raw read sees the world as
+of the last materialization, which an eager (non-elided) run would never
+show.  The same pattern guards the host balance grid and DVFS logical
+dues in ``hypervisor/machine.py``.
+
+The rule: any function touching a field in ``config.ELISION_FIELDS`` must
+contain a sync call (``_catch_up`` / ``sync_ticks`` /
+``_note_host_waiting``) textually before the first touch, unless the
+function is registered elision machinery (``config.ELISION_EXEMPT``) or a
+constructor.  "Textually before" is a deliberate approximation — it keeps
+the rule read-able and has no false negatives on straight-line prologues,
+which is how every legitimate sync site in this tree is written.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from vschedlint import config
+from vschedlint.findings import Finding
+
+
+def check_elision_sync(module, findings: List[Finding]) -> None:
+    exempt = set(config.ELISION_EXEMPT.get(module.modname, ()))
+
+    for fn, qualname in module.functions():
+        short = fn.name
+        if short in config.ELISION_EXEMPT_EVERYWHERE or qualname in exempt:
+            continue
+        # Nested functions inherit nothing: a closure that fires later (an
+        # engine callback) must sync for itself, so each def is checked on
+        # its own body minus nested defs.
+        touches = []
+        sync = _first_sync_pos_own(fn)
+        for pos, field in _field_touches_own(fn):
+            if sync is None or pos < sync:
+                touches.append((pos, field))
+        seen = set()
+        for pos, field in sorted(touches):
+            if field in seen:
+                continue
+            seen.add(field)
+            findings.append(Finding(
+                "elision-sync", module.path, pos[0], pos[1],
+                f"{qualname} touches tick-replayed field {field!r} without "
+                f"a prior _catch_up()/sync_ticks() — elided ticks may not "
+                f"have been materialized",
+                symbol=qualname, modname=module.modname))
+
+
+def _walk_own(fn: ast.AST):
+    """Walk a function's body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _first_sync_pos_own(fn: ast.AST) -> Optional[Tuple[int, int]]:
+    best = None
+    for node in _walk_own(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = None
+        if isinstance(callee, ast.Attribute):
+            name = callee.attr
+        elif isinstance(callee, ast.Name):
+            name = callee.id
+        if name in config.ELISION_SYNC_CALLS:
+            pos = (node.lineno, node.col_offset)
+            if best is None or pos < best:
+                best = pos
+    return best
+
+
+def _field_touches_own(fn: ast.AST) -> List[Tuple[Tuple[int, int], str]]:
+    out = []
+    for node in _walk_own(fn):
+        if isinstance(node, ast.Attribute) and (
+                node.attr in config.ELISION_FIELDS):
+            out.append(((node.lineno, node.col_offset), node.attr))
+    return out

@@ -1,0 +1,104 @@
+"""Finding model and the rule catalogue."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: rule slug -> (id, family, one-line description).  Slugs are what
+#: ``# vschedlint: disable=<slug>`` comments name.
+RULES: Dict[str, tuple] = {
+    # layering / isolation
+    "layer-order": ("VSL101", "layering",
+                    "import from a higher-ranked layer"),
+    "guest-isolation": ("VSL102", "layering",
+                        "guest-side import of host-side (hypervisor) code"),
+    "guest-abi": ("VSL103", "layering",
+                  "guest-side attribute access outside the guest-visible ABI"),
+    "layer-unknown": ("VSL104", "layering",
+                      "module outside the declared layer graph"),
+    # determinism
+    "wall-clock": ("VSL201", "determinism",
+                   "wall-clock read in deterministic code"),
+    "unseeded-rng": ("VSL202", "determinism",
+                     "randomness not routed through repro.sim.rng.make_rng"),
+    "identity-key": ("VSL203", "determinism",
+                     "object identity (id()) used where ordering matters"),
+    "unordered-iter": ("VSL204", "determinism",
+                       "iteration over an unordered collection without an "
+                       "explicit ordering"),
+    # elision
+    "elision-sync": ("VSL301", "elision",
+                     "tick-replayed field touched before _catch_up/sync"),
+    # meta
+    "bad-suppression": ("VSL001", "meta",
+                        "malformed suppression (unknown rule or no reason)"),
+    "unused-suppression": ("VSL002", "meta",
+                           "suppression that matches no finding"),
+    "stale-baseline": ("VSL003", "meta",
+                       "baseline entry no longer matches any finding"),
+}
+
+#: Meta rules cannot themselves be suppressed (that way lies recursion).
+UNSUPPRESSABLE = frozenset({"bad-suppression", "unused-suppression",
+                            "stale-baseline"})
+
+
+@dataclass
+class Finding:
+    """One violation, stable across unrelated edits via ``fingerprint``."""
+
+    rule: str                  # slug, key into RULES
+    path: str                  # path as given on the command line
+    line: int
+    col: int
+    message: str
+    symbol: str = ""           # enclosing Class.func qualname, if any
+    modname: str = ""          # dotted module name, e.g. repro.guest.cpu
+    fingerprint: str = ""      # filled by finalize_fingerprints()
+    baselined: bool = False
+
+    @property
+    def rule_id(self) -> str:
+        return RULES[self.rule][0]
+
+    @property
+    def family(self) -> str:
+        return RULES[self.rule][1]
+
+    def render(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+                f"({self.rule}) {self.message}{where}")
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "rule_id": self.rule_id,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "module": self.modname,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+
+def finalize_fingerprints(findings: List[Finding]) -> None:
+    """Assign line-number-independent fingerprints.
+
+    The identity of a finding is (module, rule, enclosing symbol, message)
+    plus an occurrence index among identical tuples, so a baseline survives
+    unrelated edits that only shift line numbers.
+    """
+    seen: Dict[tuple, int] = {}
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = (f.modname, f.rule, f.symbol, f.message)
+        idx = seen.get(key, 0)
+        seen[key] = idx + 1
+        raw = "\x1f".join((f.modname, f.rule, f.symbol, f.message, str(idx)))
+        f.fingerprint = hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]

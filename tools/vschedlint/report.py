@@ -1,0 +1,52 @@
+"""Text and JSON reporters."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from vschedlint.findings import Finding
+
+
+def render_text(findings: List[Finding]) -> str:
+    lines = []
+    active = [f for f in findings if not f.baselined]
+    baselined = [f for f in findings if f.baselined]
+    for f in active:
+        lines.append(f.render())
+    if baselined:
+        lines.append(f"({len(baselined)} baselined finding(s) not shown; "
+                     f"run with --show-baselined to list them)")
+    if active:
+        by_family = Counter(f.family for f in active)
+        summary = ", ".join(f"{n} {fam}" for fam, n in sorted(
+            by_family.items()))
+        lines.append(f"{len(active)} finding(s): {summary}")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def render_text_full(findings: List[Finding]) -> str:
+    lines = [f.render() + ("  (baselined)" if f.baselined else "")
+             for f in findings]
+    active = sum(1 for f in findings if not f.baselined)
+    lines.append(f"{active} active finding(s), "
+                 f"{len(findings) - active} baselined")
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding]) -> str:
+    active = [f for f in findings if not f.baselined]
+    payload = {
+        "version": 1,
+        "counts": {
+            "active": len(active),
+            "baselined": len(findings) - len(active),
+            "by_family": dict(sorted(
+                Counter(f.family for f in active).items())),
+        },
+        "findings": [f.to_json() for f in findings],
+    }
+    return json.dumps(payload, indent=2)
