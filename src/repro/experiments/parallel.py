@@ -197,6 +197,9 @@ class _UnitState:
     wall_s: float = 0.0
     events: int = 0
     elided: int = 0
+    #: Engine counter deltas (pushes/cancels/dead_drops/cascades) over the
+    #: unit's successful attempt; empty for cached units.
+    counters: Dict[str, int] = field(default_factory=dict)
     done: bool = False
     cached: bool = False
     attempts: int = 0
@@ -230,6 +233,8 @@ class CampaignResult:
     retries: int = 0
     failed_units: List[UnitFailure] = field(default_factory=list)
     unit_stats: List[dict] = field(default_factory=list)
+    #: Summed engine counter deltas across units (see _UnitState.counters).
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -255,8 +260,17 @@ def _failure_panel(exp_id: str, states: List[_UnitState]) -> str:
 def _unit_stats(states: List[_UnitState]) -> List[dict]:
     return [{"label": st.unit.label, "wall_s": round(st.wall_s, 3),
              "events_fired": st.events, "events_elided": st.elided,
+             "engine": dict(st.counters),
              "attempts": st.attempts, "cached": st.cached}
             for st in states]
+
+
+def _sum_counters(states: List[_UnitState]) -> Dict[str, int]:
+    total: Dict[str, int] = {}
+    for st in states:
+        for k, v in st.counters.items():
+            total[k] = total.get(k, 0) + v
+    return total
 
 
 def _finish_experiment(exp_id: str, states: List[_UnitState],
@@ -293,7 +307,8 @@ def _finish_experiment(exp_id: str, states: List[_UnitState],
                                       attempts=max(1, st.attempts),
                                       fate=st.fate, tb=st.tb)
                           for st in failed],
-            unit_stats=_unit_stats(states))
+            unit_stats=_unit_stats(states),
+            counters=_sum_counters(states))
     table = assemble(fast, [st.result for st in states])
     check_error = None
     if check:
@@ -308,7 +323,8 @@ def _finish_experiment(exp_id: str, states: List[_UnitState],
         events_elided=sum(st.elided for st in states),
         check_error=check_error, n_units=len(states),
         cache_hits=sum(1 for st in states if st.cached),
-        retries=retries, unit_stats=_unit_stats(states))
+        retries=retries, unit_stats=_unit_stats(states),
+        counters=_sum_counters(states))
 
 
 #: Stats of the most recent supervised campaign in this process (None
@@ -396,6 +412,7 @@ def run_units(exp_ids: Sequence[str], fast: bool = False, check: bool = True,
             st.result, st.error, st.tb = out.result, out.error, out.tb
             st.wall_s, st.events = out.wall_s, out.events
             st.elided = out.elided
+            st.counters = out.counters or {}
             st.attempts, st.fate = out.attempts, out.fate
             st.done = True
             if out.error is None and cache is not None and st.key is not None:
@@ -438,6 +455,7 @@ def _run_units_serial(plans, fast: bool, check: bool, cache,
             while True:
                 events0 = Engine.total_events_fired
                 elided0 = Engine.total_events_elided
+                counters0 = Engine.counters()
                 started = time.perf_counter()
                 st.error = st.tb = None
                 retryable = False
@@ -450,6 +468,9 @@ def _run_units_serial(plans, fast: bool, check: bool, cache,
                 st.wall_s = time.perf_counter() - started
                 st.events = Engine.total_events_fired - events0
                 st.elided = Engine.total_events_elided - elided0
+                st.counters = {k: v - counters0[k]
+                               for k, v in Engine.counters().items()
+                               if k not in ("fired", "elided")}
                 st.attempts += 1
                 if st.error is None:
                     st.fate = "ok" if not fates else (

@@ -44,7 +44,7 @@ sleeps); results remain pure functions of ``(code, config, seed)``.
 
 from __future__ import annotations
 
-import heapq
+import heapq  # vschedlint: disable=heap-encapsulation -- host-time retry backoff queue, not the engine event store
 import multiprocessing as mp
 import multiprocessing.connection as mp_connection
 import os
@@ -172,6 +172,9 @@ class UnitOutcome:
     wall_s: float = 0.0
     events: int = 0
     elided: int = 0
+    #: Engine counter deltas over the unit (pushes/cancels/dead_drops/
+    #: cascades — see Engine.counters); None for units that never ran.
+    counters: Optional[Dict[str, int]] = None
     attempts: int = 1
     fate: str = "ok"
 
@@ -208,6 +211,7 @@ def _worker_main(worker_id: int, task_r, result_w,
         idx, attempt, tag, func, config = item
         events0 = Engine.total_events_fired
         elided0 = Engine.total_events_elided
+        counters0 = Engine.counters()
         started = time.perf_counter()
         result: Any = None
         error = tb = None
@@ -226,7 +230,10 @@ def _worker_main(worker_id: int, task_r, result_w,
             result_w.send((worker_id, idx, attempt, result, error, tb,
                            retryable, time.perf_counter() - started,
                            Engine.total_events_fired - events0,
-                           Engine.total_events_elided - elided0))
+                           Engine.total_events_elided - elided0,
+                           {k: v - counters0[k]
+                            for k, v in Engine.counters().items()
+                            if k not in ("fired", "elided")}))
         except (BrokenPipeError, OSError):
             break  # parent is gone; nothing left to report to
 
@@ -371,7 +378,7 @@ def supervise(units: Sequence[WorkUnit], jobs: int, *, fast: bool = False,
                     pass
             for msg in msgs:
                 wid, idx, attempt, result, error, tb, retryable, wall, \
-                    events, elided = msg
+                    events, elided, counters = msg
                 w = workers.get(wid)
                 if w is not None and w.current is not None \
                         and w.current[0] == idx:
@@ -386,7 +393,7 @@ def supervise(units: Sequence[WorkUnit], jobs: int, *, fast: bool = False,
                             + f"; ok on attempt {attempts_made[idx]}")
                         yield idx, UnitOutcome(
                             result=result, wall_s=wall, events=events,
-                            elided=elided,
+                            elided=elided, counters=counters,
                             attempts=attempts_made[idx], fate=fate)
                     elif retryable:
                         out = settle(idx, error)
@@ -402,7 +409,7 @@ def supervise(units: Sequence[WorkUnit], jobs: int, *, fast: bool = False,
                             f"attempt {attempts_made[idx]}: {error}")
                         yield idx, UnitOutcome(
                             error=error, tb=tb, wall_s=wall, events=events,
-                            elided=elided,
+                            elided=elided, counters=counters,
                             attempts=attempts_made[idx],
                             fate="; ".join(history[idx])
                                  + " (not retryable)")

@@ -10,14 +10,24 @@ The engine is deliberately minimal: entities schedule callbacks, callbacks
 may schedule more callbacks.  Higher layers (hypervisor, guest kernel) build
 their state machines on top of this primitive.
 
-Internals are tuned for the hot path:
+Event storage is a pluggable *backend* behind a three-method protocol
+(``push`` / ``pop_due`` / ``note_cancelled``); the dispatch loop, the
+instant/epoch bookkeeping, and every counter live in the engine and are
+backend-independent.  Two backends exist:
 
-* the heap stores ``(time, prio, seq, event)`` tuples so ordering is decided
-  by C-level integer comparisons instead of Python ``__lt__`` calls;
-* cancellation stays lazy, but the engine counts cancelled-in-heap events
-  and compacts the heap when they dominate, so ``run_until`` does not churn
-  through millions of dead entries;
-* ``pending()`` is O(1), maintained on push/pop/cancel.
+* ``heap`` (this module, the reference): a binary heap of
+  ``(time, prio, seq, event)`` tuples so ordering is decided by C-level
+  integer comparisons instead of Python ``__lt__`` calls.  Cancellation is
+  lazy, but the backend counts cancelled-in-heap events and compacts when
+  they dominate, so ``run_until`` does not churn through millions of dead
+  entries.
+* ``wheel`` (:mod:`repro.sim.wheel`): a Linux-style hierarchical timer
+  wheel with O(1) arm and effectively-free cancel, byte-identical in pop
+  order to the heap (INTERNALS §13 has the equivalence argument).
+
+Select with ``Engine(backend="heap"|"wheel")`` or the
+``$VSCHED_REPRO_ENGINE`` environment variable (default ``heap``).
+``pending()`` is O(1) either way, maintained on push/pop/cancel.
 
 Priority bands (``prio``) exist for timer elision: a periodic timer whose
 firing is elided and later re-armed would otherwise land at its original
@@ -46,6 +56,7 @@ from __future__ import annotations
 
 import heapq
 import os
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: One microsecond / millisecond / second expressed in engine time units.
@@ -79,6 +90,18 @@ def elision_default() -> bool:
     site so tests can toggle it in-process.
     """
     return os.environ.get("VSCHED_REPRO_TICKLESS", "1") != "0"
+
+
+def engine_backend_default() -> str:
+    """Process-wide default event-storage backend (``heap`` unless set).
+
+    ``VSCHED_REPRO_ENGINE=wheel`` switches every ``Engine()`` constructed
+    without an explicit ``backend=`` to the hierarchical timer wheel; the
+    A/B harness (``tools/abdiff.py``) uses this to assert both backends
+    produce byte-identical tables.  Read lazily at each construction site
+    so tests can toggle it in-process.
+    """
+    return os.environ.get("VSCHED_REPRO_ENGINE", "heap")
 
 
 class Event:
@@ -130,6 +153,86 @@ class Event:
         return f"<Event t={self.time} {name} {state}>"
 
 
+class _HeapBackend:
+    """Reference event store: a binary heap with lazy cancellation.
+
+    The backend protocol (shared with :class:`repro.sim.wheel.WheelBackend`):
+
+    ``push(entry)``
+        Accept a ``(time, prio, seq, Event)`` tuple.  Bound to a C-level
+        callable where possible — the engine calls it once per ``call_at``.
+    ``pop_due(deadline)``
+        Remove and return the globally least live entry by
+        ``(time, prio, seq)``, or ``None`` when the store is empty or the
+        least live entry is after ``deadline`` (``deadline=None`` means no
+        bound).  Cancelled entries are discarded en route and counted in
+        ``Engine.total_dead_drops``.
+    ``note_cancelled()``
+        An in-store event was cancelled (the :class:`Event` flag is already
+        set); purely advisory — the heap uses it to trigger compaction, the
+        wheel ignores it.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_heap", "_ncancelled", "push")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int, Event]] = []
+        self._ncancelled = 0
+        self.push = partial(heapq.heappush, self._heap)
+
+    def pop_due(self, deadline: Optional[int]
+                ) -> Optional[Tuple[int, int, int, Event]]:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            if deadline is not None and entry[0] > deadline:
+                return None
+            pop(heap)
+            if entry[3].cancelled:
+                self._ncancelled -= 1
+                Engine.total_dead_drops += 1
+                continue
+            return entry
+        return None
+
+    def note_cancelled(self) -> None:
+        """An in-heap event was cancelled; compact when dead entries win."""
+        self._ncancelled = n = self._ncancelled + 1
+        if (n >= _COMPACT_MIN_CANCELLED
+                and n * _COMPACT_FRACTION >= len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, preserving pop order.
+
+        Mutates the heap list in place so the ``partial``-bound ``push``
+        keeps targeting the live list.  Since the ``(time, prio, seq)`` key
+        is unique per event, pop order after compaction is identical to the
+        order before it.
+        """
+        heap = self._heap
+        before = len(heap)
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
+        Engine.total_dead_drops += before - len(heap)
+        self._ncancelled = 0
+
+
+def _make_backend(name: str):
+    if name == "heap":
+        return _HeapBackend()
+    if name == "wheel":
+        # Imported lazily: repro.sim.wheel imports this module for the
+        # shared counters, so a top-level import here would be circular.
+        from repro.sim.wheel import WheelBackend
+        return WheelBackend()
+    raise ValueError(
+        f"unknown engine backend {name!r} (expected 'heap' or 'wheel')")
+
+
 class Engine:
     """The simulation clock and event queue.
 
@@ -141,25 +244,50 @@ class Engine:
     """
 
     #: Process-wide count of events fired across all engines (perf metric;
-    #: read by tools/bench.py to report events/sec).
+    #: read by tools/bench.py to report events/sec).  A "fire" is a live
+    #: dispatch — cancelled entries never count, under either backend.
     total_events_fired: int = 0
     #: Process-wide count of timer firings elided (materialized
     #: arithmetically instead of dispatched through the heap).
     total_events_elided: int = 0
+    #: Process-wide count of ``call_at``/``call_in`` arms.  Counted at the
+    #: API boundary so the number is backend-invariant.
+    total_pushes: int = 0
+    #: Process-wide count of ``Event.cancel`` calls on still-pending events.
+    #: Also counted at the API boundary: backend-invariant.
+    total_cancels: int = 0
+    #: Process-wide count of cancelled entries physically discarded by a
+    #: backend (heap: dead pops + compaction sweeps; wheel: drops at stage
+    #: drain / cascade / collect).  Backend-*internal* telemetry: over a
+    #: fully drained run it converges to ``total_cancels``, but the timing
+    #: (and any still-buried residue) legitimately differs per backend.
+    #: Compare backends on pushes/cancels/fired, never on this.
+    total_dead_drops: int = 0
+    #: Process-wide count of timer-wheel slot cascades (re-filing one
+    #: occupied upper-level slot).  Always 0 under the heap backend.
+    total_cascades: int = 0
     #: Callback-attribution profiler switch.  When True, per-callsite
     #: fired/cancelled/elided counters accumulate in :attr:`profile_data`.
     profiling: bool = False
     #: qualname -> [fired, cancelled, elided]
     profile_data: Dict[str, List[int]] = {}
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[str] = None) -> None:
         self.now: int = 0
-        self._heap: List[Tuple[int, int, int, Event]] = []
+        #: Event-store backend name ("heap" or "wheel"); resolved from
+        #: ``$VSCHED_REPRO_ENGINE`` when not passed explicitly.
+        self.backend: str = backend if backend is not None \
+            else engine_backend_default()
+        self._backend = _make_backend(self.backend)
+        #: Bound push fast path (C-level for the heap, ``list.append`` for
+        #: the wheel's staging area).
+        self._push = self._backend.push
         self._seq: int = 0
         self._running = False
         self._stopped = False
-        #: Cancelled events still sitting in the heap.
-        self._ncancelled = 0
+        #: Live (not-yet-fired, not-cancelled) events in the store: O(1)
+        #: ``pending()``, maintained here so backends never track it.
+        self._npending = 0
         #: Events fired by this engine instance.
         self.events_fired = 0
         #: Timer firings elided by this engine instance.
@@ -214,7 +342,9 @@ class Engine:
             )
         self._seq = seq = self._seq + 1
         ev = Event(time, prio, seq, callback, args, self)
-        heapq.heappush(self._heap, (time, prio, seq, ev))
+        self._push((time, prio, seq, ev))
+        self._npending += 1
+        Engine.total_pushes += 1
         return ev
 
     def call_in(self, delay: int, callback: Callable[..., None], *args: Any,
@@ -280,6 +410,25 @@ class Engine:
         if Engine.profiling:
             Engine._profile_bump(callback, 2, n)
 
+    @classmethod
+    def counters(cls) -> Dict[str, int]:
+        """Snapshot of the process-wide engine counters.
+
+        ``pushes``/``cancels``/``fired``/``elided`` are API-level and
+        backend-invariant; ``dead_drops``/``cascades`` are backend-internal
+        telemetry (see the class attributes).  Callers measure a scenario
+        by differencing two snapshots (``tools/bench.py``, the campaign
+        supervisor's per-unit stats).
+        """
+        return {
+            "pushes": cls.total_pushes,
+            "cancels": cls.total_cancels,
+            "fired": cls.total_events_fired,
+            "elided": cls.total_events_elided,
+            "dead_drops": cls.total_dead_drops,
+            "cascades": cls.total_cascades,
+        }
+
     # ------------------------------------------------------------------
     # Callback-attribution profiler
     # ------------------------------------------------------------------
@@ -326,105 +475,78 @@ class Engine:
         """
         self._sync_hooks.append(hook)
 
+    def _dispatch(self, deadline: Optional[int],
+                  max_events: Optional[int]) -> int:
+        """Shared dispatch loop: pop due entries from the backend and fire.
+
+        All instant/epoch bookkeeping (``_instant_hi``, ``_instant_marks``,
+        ``_pop_epoch``) lives here, keyed purely on the popped
+        ``(time, prio, seq)`` — so a backend is conformant iff its pop
+        *order* matches the heap's, which is what the wheel guarantees.
+        """
+        if self._running:
+            raise RuntimeError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        pop_due = self._backend.pop_due
+        fired = 0
+        profiling = Engine.profiling
+        bump = Engine._profile_bump
+        try:
+            while not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                entry = pop_due(deadline)
+                if entry is None:
+                    break
+                ev = entry[3]
+                ev._engine = None
+                self._pop_epoch += 1
+                marks = self._instant_marks
+                if entry[0] != self.now:
+                    self._instant_hi = entry[1]
+                    del marks[:]
+                else:
+                    if entry[1] > self._instant_hi:
+                        self._instant_hi = entry[1]
+                    while marks and marks[-1][1] <= entry[1]:
+                        marks.pop()
+                marks.append((self._pop_epoch, entry[1]))
+                self.now = entry[0]
+                self._current = entry
+                ev.callback(*ev.args)
+                fired += 1
+                if profiling:
+                    bump(ev.callback, 0)
+        finally:
+            self._current = None
+            self._running = False
+            self.events_fired += fired
+            self._npending -= fired
+            Engine.total_events_fired += fired
+        return fired
+
     def run_until(self, deadline: int) -> None:
         """Process events up to and including ``deadline``.
 
         The clock is left at ``deadline`` even if the queue drains earlier,
         so that subsequent relative scheduling behaves intuitively.
         """
-        if self._running:
-            raise RuntimeError("engine is not reentrant")
-        self._running = True
-        self._stopped = False
-        heap = self._heap
-        pop = heapq.heappop
-        fired = 0
-        profiling = Engine.profiling
-        bump = Engine._profile_bump
         try:
-            while heap and not self._stopped:
-                entry = heap[0]
-                if entry[0] > deadline:
-                    break
-                pop(heap)
-                ev = entry[3]
-                if ev.cancelled:
-                    self._ncancelled -= 1
-                    continue
-                ev._engine = None
-                self._pop_epoch += 1
-                marks = self._instant_marks
-                if entry[0] != self.now:
-                    self._instant_hi = entry[1]
-                    del marks[:]
-                else:
-                    if entry[1] > self._instant_hi:
-                        self._instant_hi = entry[1]
-                    while marks and marks[-1][1] <= entry[1]:
-                        marks.pop()
-                marks.append((self._pop_epoch, entry[1]))
-                self.now = entry[0]
-                self._current = entry
-                ev.callback(*ev.args)
-                fired += 1
-                if profiling:
-                    bump(ev.callback, 0)
+            self._dispatch(deadline, None)
             if self.now < deadline:
                 self.now = deadline
         finally:
-            self._current = None
-            self._running = False
-            self.events_fired += fired
-            Engine.total_events_fired += fired
             for hook in self._sync_hooks:
                 hook()
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events`` fire); return count."""
-        if self._running:
-            raise RuntimeError("engine is not reentrant")
-        self._running = True
-        self._stopped = False
-        heap = self._heap
-        pop = heapq.heappop
-        fired = 0
-        profiling = Engine.profiling
-        bump = Engine._profile_bump
         try:
-            while heap and not self._stopped:
-                if max_events is not None and fired >= max_events:
-                    break
-                entry = pop(heap)
-                ev = entry[3]
-                if ev.cancelled:
-                    self._ncancelled -= 1
-                    continue
-                ev._engine = None
-                self._pop_epoch += 1
-                marks = self._instant_marks
-                if entry[0] != self.now:
-                    self._instant_hi = entry[1]
-                    del marks[:]
-                else:
-                    if entry[1] > self._instant_hi:
-                        self._instant_hi = entry[1]
-                    while marks and marks[-1][1] <= entry[1]:
-                        marks.pop()
-                marks.append((self._pop_epoch, entry[1]))
-                self.now = entry[0]
-                self._current = entry
-                ev.callback(*ev.args)
-                fired += 1
-                if profiling:
-                    bump(ev.callback, 0)
+            return self._dispatch(None, max_events)
         finally:
-            self._current = None
-            self._running = False
-            self.events_fired += fired
-            Engine.total_events_fired += fired
             for hook in self._sync_hooks:
                 hook()
-        return fired
 
     def stop(self) -> None:
         """Stop the current ``run``/``run_until`` after the active callback."""
@@ -432,25 +554,13 @@ class Engine:
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued (O(1))."""
-        return len(self._heap) - self._ncancelled
+        return self._npending
 
     # ------------------------------------------------------------------
     # Lazy-cancellation bookkeeping
     # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:
-        """An in-heap event was cancelled; compact when dead entries win."""
-        self._ncancelled = n = self._ncancelled + 1
-        if (n >= _COMPACT_MIN_CANCELLED
-                and n * _COMPACT_FRACTION >= len(self._heap)):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify, preserving pop order.
-
-        Mutates the heap list in place so that a ``run_until`` loop holding
-        a reference keeps seeing the live heap.
-        """
-        heap = self._heap
-        heap[:] = [entry for entry in heap if not entry[3].cancelled]
-        heapq.heapify(heap)
-        self._ncancelled = 0
+        """An in-store event was cancelled (called from Event.cancel)."""
+        self._npending -= 1
+        Engine.total_cancels += 1
+        self._backend.note_cancelled()

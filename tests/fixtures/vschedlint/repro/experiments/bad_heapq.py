@@ -1,0 +1,9 @@
+"""Fixture: heapq/_heap use outside repro.sim (heap-encapsulation x3)."""
+
+import heapq
+
+
+def peek_engine_store(engine):
+    entry = engine._heap[0]
+    heapq.heappush(engine._heap, entry)
+    return entry

@@ -1,0 +1,11 @@
+"""Fixture: repro.sim owns the event store; heapq/_heap use is sanctioned."""
+
+import heapq
+
+
+class MiniBackend:
+    def __init__(self):
+        self._heap = []
+
+    def push(self, entry):
+        heapq.heappush(self._heap, entry)

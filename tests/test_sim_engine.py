@@ -1,8 +1,22 @@
-"""Unit tests for the event engine."""
+"""Unit tests for the event engine.
+
+Engine-behaviour tests run against both event-store backends (binary heap
+and hierarchical timer wheel): the backend protocol promises identical
+observable semantics, so every test here is a conformance check.
+Backend-specific internals (heap compaction) are pinned separately below.
+"""
 
 import pytest
 
 from repro.sim import Engine, MSEC, SEC, USEC
+
+
+@pytest.fixture(params=["heap", "wheel"])
+def make_engine(request):
+    """Engine factory parametrized over event-store backends."""
+    def make():
+        return Engine(backend=request.param)
+    return make
 
 
 def test_time_constants():
@@ -11,8 +25,22 @@ def test_time_constants():
     assert SEC == 1_000_000_000
 
 
-def test_events_fire_in_time_order():
-    eng = Engine()
+def test_backend_selection(monkeypatch):
+    assert Engine(backend="heap").backend == "heap"
+    assert Engine(backend="wheel").backend == "wheel"
+    monkeypatch.delenv("VSCHED_REPRO_ENGINE", raising=False)
+    assert Engine().backend == "heap"  # the reference backend is default
+    monkeypatch.setenv("VSCHED_REPRO_ENGINE", "wheel")
+    assert Engine().backend == "wheel"
+    monkeypatch.setenv("VSCHED_REPRO_ENGINE", "splay")
+    with pytest.raises(ValueError):
+        Engine()
+    with pytest.raises(ValueError):
+        Engine(backend="btree")
+
+
+def test_events_fire_in_time_order(make_engine):
+    eng = make_engine()
     fired = []
     eng.call_in(30, lambda: fired.append("c"))
     eng.call_in(10, lambda: fired.append("a"))
@@ -21,8 +49,8 @@ def test_events_fire_in_time_order():
     assert fired == ["a", "b", "c"]
 
 
-def test_same_time_events_fire_in_insertion_order():
-    eng = Engine()
+def test_same_time_events_fire_in_insertion_order(make_engine):
+    eng = make_engine()
     fired = []
     for label in "abcde":
         eng.call_in(50, lambda l=label: fired.append(l))
@@ -30,14 +58,14 @@ def test_same_time_events_fire_in_insertion_order():
     assert fired == list("abcde")
 
 
-def test_run_until_advances_clock_even_without_events():
-    eng = Engine()
+def test_run_until_advances_clock_even_without_events(make_engine):
+    eng = make_engine()
     eng.run_until(123456)
     assert eng.now == 123456
 
 
-def test_run_until_does_not_fire_future_events():
-    eng = Engine()
+def test_run_until_does_not_fire_future_events(make_engine):
+    eng = make_engine()
     fired = []
     eng.call_in(200, lambda: fired.append(1))
     eng.run_until(100)
@@ -46,8 +74,8 @@ def test_run_until_does_not_fire_future_events():
     assert fired == [1]
 
 
-def test_cancelled_event_does_not_fire():
-    eng = Engine()
+def test_cancelled_event_does_not_fire(make_engine):
+    eng = make_engine()
     fired = []
     ev = eng.call_in(10, lambda: fired.append(1))
     ev.cancel()
@@ -56,16 +84,16 @@ def test_cancelled_event_does_not_fire():
     assert not ev.active
 
 
-def test_event_callback_args():
-    eng = Engine()
+def test_event_callback_args(make_engine):
+    eng = make_engine()
     got = []
     eng.call_in(5, lambda a, b: got.append((a, b)), 1, "x")
     eng.run_until(10)
     assert got == [(1, "x")]
 
 
-def test_scheduling_in_the_past_raises():
-    eng = Engine()
+def test_scheduling_in_the_past_raises(make_engine):
+    eng = make_engine()
     eng.run_until(100)
     with pytest.raises(ValueError):
         eng.call_at(50, lambda: None)
@@ -73,8 +101,8 @@ def test_scheduling_in_the_past_raises():
         eng.call_in(-1, lambda: None)
 
 
-def test_callbacks_can_schedule_more_events():
-    eng = Engine()
+def test_callbacks_can_schedule_more_events(make_engine):
+    eng = make_engine()
     fired = []
 
     def chain(n):
@@ -87,8 +115,8 @@ def test_callbacks_can_schedule_more_events():
     assert fired == [1, 2, 3, 4, 5]
 
 
-def test_stop_halts_processing():
-    eng = Engine()
+def test_stop_halts_processing(make_engine):
+    eng = make_engine()
     fired = []
     eng.call_in(10, lambda: (fired.append(1), eng.stop()))
     eng.call_in(20, lambda: fired.append(2))
@@ -96,16 +124,16 @@ def test_stop_halts_processing():
     assert fired == [1]
 
 
-def test_pending_counts_uncancelled():
-    eng = Engine()
+def test_pending_counts_uncancelled(make_engine):
+    eng = make_engine()
     ev1 = eng.call_in(10, lambda: None)
     eng.call_in(20, lambda: None)
     ev1.cancel()
     assert eng.pending() == 1
 
 
-def test_run_drains_queue():
-    eng = Engine()
+def test_run_drains_queue(make_engine):
+    eng = make_engine()
     fired = []
     for i in range(10):
         eng.call_in(i + 1, lambda i=i: fired.append(i))
@@ -114,8 +142,8 @@ def test_run_drains_queue():
     assert fired == list(range(10))
 
 
-def test_engine_not_reentrant():
-    eng = Engine()
+def test_engine_not_reentrant(make_engine):
+    eng = make_engine()
 
     def bad():
         eng.run_until(100)
@@ -126,10 +154,10 @@ def test_engine_not_reentrant():
 
 
 # ----------------------------------------------------------------------
-# Edge cases around lazy cancellation, compaction, and O(1) pending
+# Edge cases around lazy cancellation and O(1) pending
 # ----------------------------------------------------------------------
-def test_cancel_after_fire_is_harmless():
-    eng = Engine()
+def test_cancel_after_fire_is_harmless(make_engine):
+    eng = make_engine()
     fired = []
     ev = eng.call_in(10, lambda: fired.append(1))
     eng.run_until(100)
@@ -140,9 +168,9 @@ def test_cancel_after_fire_is_harmless():
     assert eng.pending() == before == 0
 
 
-def test_cancel_from_inside_callback_same_instant():
+def test_cancel_from_inside_callback_same_instant(make_engine):
     """A callback cancelling a later event at the same timestamp wins."""
-    eng = Engine()
+    eng = make_engine()
     fired = []
     evs = {}
     evs["b"] = None
@@ -157,8 +185,8 @@ def test_cancel_from_inside_callback_same_instant():
     assert fired == ["a"]
 
 
-def test_stop_mid_run_then_resume():
-    eng = Engine()
+def test_stop_mid_run_then_resume(make_engine):
+    eng = make_engine()
     fired = []
     eng.call_in(10, lambda: (fired.append(1), eng.stop()))
     eng.call_in(20, lambda: fired.append(2))
@@ -171,8 +199,8 @@ def test_stop_mid_run_then_resume():
     assert eng.pending() == 0
 
 
-def test_scheduling_at_now_is_allowed():
-    eng = Engine()
+def test_scheduling_at_now_is_allowed(make_engine):
+    eng = make_engine()
     eng.run_until(50)
     fired = []
     eng.call_at(50, lambda: fired.append(1))
@@ -180,10 +208,10 @@ def test_scheduling_at_now_is_allowed():
     assert fired == [1]
 
 
-def test_compaction_preserves_order_and_pending():
-    """Mass cancellation triggers compaction; survivors still fire in
-    (time, seq) order and pending() stays exact throughout."""
-    eng = Engine()
+def test_mass_cancellation_preserves_order_and_pending(make_engine):
+    """Mass cancellation (heap: compaction territory) leaves survivors
+    firing in (time, seq) order and pending() exact throughout."""
+    eng = make_engine()
     fired = []
     keep, drop = [], []
     for i in range(300):
@@ -191,20 +219,36 @@ def test_compaction_preserves_order_and_pending():
         (keep if i % 5 == 0 else drop).append((i, ev))
     assert eng.pending() == 300
     for _, ev in drop:
-        ev.cancel()  # 240 cancels: crosses the compaction threshold
+        ev.cancel()
     assert eng.pending() == len(keep)
-    # Compaction ran (possibly more than once); at most a sub-threshold
-    # residue of dead entries may remain in the heap.
-    assert len(eng._heap) < 300
-    assert len(eng._heap) - len(keep) < 64
     eng.run_until(SEC)
     assert fired == [i for i, _ in keep]
     assert eng.pending() == 0
 
 
-def test_compaction_same_timestamp_tiebreak():
+def test_heap_compaction_bounds_dead_entries():
+    """Heap-specific: crossing the compaction threshold actually sweeps
+    the dead entries out of the underlying heap list."""
+    eng = Engine(backend="heap")
+    fired = []
+    keep, drop = [], []
+    for i in range(300):
+        ev = eng.call_in(1000 + i, lambda i=i: fired.append(i))
+        (keep if i % 5 == 0 else drop).append((i, ev))
+    for _, ev in drop:
+        ev.cancel()  # 240 cancels: crosses the compaction threshold
+    # Compaction ran (possibly more than once); at most a sub-threshold
+    # residue of dead entries may remain in the heap.
+    heap = eng._backend._heap
+    assert len(heap) < 300
+    assert len(heap) - len(keep) < 64
+    eng.run_until(SEC)
+    assert fired == [i for i, _ in keep]
+
+
+def test_cancel_heavy_same_timestamp_tiebreak(make_engine):
     """Cancel-heavy churn at one instant must not disturb insertion order."""
-    eng = Engine()
+    eng = make_engine()
     fired = []
     survivors = []
     for i in range(200):
@@ -217,8 +261,8 @@ def test_compaction_same_timestamp_tiebreak():
     assert fired == survivors
 
 
-def test_pending_exact_through_mixed_churn():
-    eng = Engine()
+def test_pending_exact_through_mixed_churn(make_engine):
+    eng = make_engine()
     events = [eng.call_in(i + 1, lambda: None) for i in range(50)]
     assert eng.pending() == 50
     for ev in events[::2]:
@@ -230,11 +274,32 @@ def test_pending_exact_through_mixed_churn():
     assert eng.pending() == 0
 
 
-def test_events_fired_counters():
+def test_events_fired_counters(make_engine):
     base = Engine.total_events_fired
-    eng = Engine()
+    eng = make_engine()
     for i in range(7):
         eng.call_in(i + 1, lambda: None)
     eng.run_until(100)
     assert eng.events_fired == 7
     assert Engine.total_events_fired - base == 7
+
+
+def test_push_cancel_counters_backend_invariant():
+    """pushes/cancels/fired are API-level counts: identical per backend."""
+    deltas = {}
+    for backend in ("heap", "wheel"):
+        before = Engine.counters()
+        eng = Engine(backend=backend)
+        evs = [eng.call_in(10 * (i + 1), lambda: None) for i in range(20)]
+        for ev in evs[::2]:
+            ev.cancel()
+        eng.run_until(SEC)
+        after = Engine.counters()
+        deltas[backend] = {k: after[k] - before[k] for k in after}
+    for backend, d in deltas.items():
+        assert d["pushes"] == 20, backend
+        assert d["cancels"] == 10, backend
+        assert d["fired"] == 10, backend
+        # Fully drained: every cancelled entry was physically discarded.
+        assert d["dead_drops"] == 10, backend
+    assert deltas["heap"]["cascades"] == 0

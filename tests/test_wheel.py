@@ -1,0 +1,242 @@
+"""Conformance tests for the timer-wheel backend against the heap.
+
+The backend contract is pop-order equality: for any program of arms,
+cancels, and runs, the wheel must dispatch the exact ``(time, prio, seq)``
+sequence the reference heap dispatches.  These tests target the edges
+where the two implementations diverge structurally — cancel-then-rearm
+inside one instant, far-future timers crossing cascade boundaries, lane
+priorities under pop-epoch replay queries, zero-delay arms mid-dispatch,
+and deadlines that split a wheel unit.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Engine, MSEC, SEC, USEC
+from repro.sim.wheel import BITS, LEVELS, SHIFT, SLOTS, TOP_SHIFT
+
+BACKENDS = ("heap", "wheel")
+
+
+def run_both(scenario):
+    """Run ``scenario(engine, log)`` per backend; return the two logs."""
+    logs = []
+    for backend in BACKENDS:
+        eng = Engine(backend=backend)
+        log = []
+        scenario(eng, log)
+        logs.append(log)
+    return logs
+
+
+def assert_identical(scenario):
+    heap_log, wheel_log = run_both(scenario)
+    assert heap_log == wheel_log
+    return heap_log
+
+
+# ----------------------------------------------------------------------
+# ISSUE edge cases
+# ----------------------------------------------------------------------
+def test_cancel_then_rearm_same_instant():
+    """A callback cancels a later same-instant event and re-arms a
+    replacement at the same instant: the replacement's fresh seq must
+    order it after every older same-instant arm, on both backends."""
+
+    def scenario(eng, log):
+        state = {}
+
+        def killer():
+            log.append(("killer", eng.now))
+            state["victim"].cancel()
+            # Re-arm at the very same instant, default lane: runs last.
+            eng.call_at(eng.now, lambda: log.append(("rearmed", eng.now)))
+
+        eng.call_at(5 * USEC, killer)
+        state["victim"] = eng.call_at(
+            5 * USEC, lambda: log.append(("victim", eng.now)))
+        eng.call_at(5 * USEC, lambda: log.append(("bystander", eng.now)))
+        eng.run_until(MSEC)
+        log.append(("pending", eng.pending()))
+
+    log = assert_identical(scenario)
+    assert [tag for tag, _ in log] == [
+        "killer", "bystander", "rearmed", "pending"]
+
+
+def test_lane_rearm_same_instant_orders_by_lane():
+    """With a lane priority, a mid-instant re-arm lands at its lane
+    position among the *not yet popped* same-instant events."""
+
+    def scenario(eng, log):
+        lane = eng.alloc_lane()  # negative: fires before prio-0 events
+
+        def opener():
+            log.append("opener")
+            # Lane entry armed mid-instant: every prio-0 event still
+            # pending at this instant must yield to it.
+            eng.call_at(eng.now, lambda: log.append("lane"), prio=lane)
+
+        eng.call_at(7 * USEC, opener)
+        eng.call_at(7 * USEC, lambda: log.append("plain-1"))
+        eng.call_at(7 * USEC, lambda: log.append("plain-2"))
+        eng.run_until(MSEC)
+
+    log = assert_identical(scenario)
+    assert log == ["opener", "lane", "plain-1", "plain-2"]
+
+
+def test_far_future_timers_cross_cascade_boundaries():
+    """Arms at every level boundary (and into overflow) fire in exact
+    time order; the wheel pays cascades, the heap none — but the fired
+    sequence is identical."""
+    unit = 1 << SHIFT
+    delays = []
+    for lvl in range(1, LEVELS):
+        span = unit << (BITS * lvl)  # first delay served by level `lvl`
+        delays += [span - unit, span, span + unit, 3 * span + 7]
+    top_span = unit << TOP_SHIFT
+    delays += [SLOTS * top_span - unit,      # last in-wheel unit
+               SLOTS * top_span + 5 * SEC,   # overflow list
+               2 * SLOTS * top_span]         # deep overflow
+    delays += [0, 1, unit - 1, unit, 17 * unit + 3]
+
+    def scenario(eng, log):
+        for i, d in enumerate(delays):
+            eng.call_in(d, lambda i=i: log.append((eng.now, i)))
+        eng.run()
+        log.append(("pending", eng.pending()))
+
+    before = Engine.total_cascades
+    log = assert_identical(scenario)
+    assert Engine.total_cascades > before  # the wheel really cascaded
+    times = [t for t, _ in log[:-1]]
+    assert times == sorted(times)
+    assert len(log) == len(delays) + 1
+
+
+def test_cancel_across_cascade_boundary():
+    """Cancelling a far-future timer after it was filed upper-level (and
+    re-arming nearby) must not leave ghosts when the cascade sweeps."""
+
+    def scenario(eng, log):
+        far = eng.call_in(300 * MSEC, lambda: log.append("far"))
+        eng.call_in(USEC, lambda: log.append("near"))
+        eng.run_until(2 * USEC)   # wheel: far is now slot-resident
+        far.cancel()
+        eng.call_in(299 * MSEC, lambda: log.append("replacement"))
+        eng.run_until(SEC)
+        log.append(("pending", eng.pending()))
+
+    log = assert_identical(scenario)
+    assert log == ["near", "replacement", ("pending", 0)]
+
+
+def test_lane_priority_ordering_under_pop_epoch_replay():
+    """The replay-limit queries (current_key, pop_epoch,
+    max_prio_popped_since) observe identical values under both backends —
+    they are pure functions of the pop sequence."""
+
+    def scenario(eng, log):
+        lane_a = eng.alloc_lane()
+        lane_b = eng.alloc_lane()
+        epochs = {}
+
+        def observe(tag):
+            log.append((tag, eng.now, eng.current_key(), eng.pop_epoch))
+
+        def arm_and_record(tag):
+            observe(tag)
+            epochs[tag] = eng.pop_epoch
+
+        def probe(tag):
+            observe(tag)
+            for k, e in sorted(epochs.items()):
+                log.append((tag, k, eng.max_prio_popped_since(e)))
+
+        t = 9 * USEC
+        eng.call_at(t, arm_and_record, "first", prio=lane_b)
+        eng.call_at(t, arm_and_record, "second", prio=lane_a)
+        eng.call_at(t, probe, "plain")
+        eng.call_at(t, probe, "late")
+        eng.run_until(MSEC)
+        log.append(("outside", eng.current_key()))
+
+    assert_identical(scenario)
+
+
+def test_zero_delay_call_in_during_dispatch():
+    """call_in(0, ...) from inside a callback fires later in the same
+    run at the same instant, after already-armed same-instant events."""
+
+    def scenario(eng, log):
+        def opener():
+            log.append("opener")
+            eng.call_in(0, lambda: log.append("zero-1"))
+            eng.call_in(0, lambda: (log.append("zero-2"),
+                                    eng.call_in(0, lambda:
+                                                log.append("nested"))))
+
+        eng.call_at(3 * USEC, opener)
+        eng.call_at(3 * USEC, lambda: log.append("sibling"))
+        eng.call_at(3 * USEC + 1, lambda: log.append("next-ns"))
+        eng.run_until(MSEC)
+
+    log = assert_identical(scenario)
+    assert log == ["opener", "sibling", "zero-1", "zero-2", "nested",
+                   "next-ns"]
+
+
+def test_run_until_deadline_splits_a_wheel_unit():
+    """Events inside one 2**SHIFT-ns wheel unit straddling the deadline:
+    only the due part fires now, the rest exactly on the next run."""
+    unit = 1 << SHIFT
+
+    def scenario(eng, log):
+        base = 10 * unit
+        for off in (0, 3, 7, unit - 1):
+            eng.call_at(base + off,
+                        lambda off=off: log.append(("fire", off)))
+        eng.run_until(base + 3)
+        log.append(("mid", eng.now, eng.pending()))
+        eng.run_until(base + unit)
+        log.append(("end", eng.pending()))
+
+    log = assert_identical(scenario)
+    assert log == [("fire", 0), ("fire", 3), ("mid", 10 * unit + 3, 2),
+                   ("fire", 7), ("fire", unit - 1), ("end", 0)]
+
+
+# ----------------------------------------------------------------------
+# Differential fuzz (seeded, both backends, one op program)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("trial", range(25))
+def test_differential_random_programs(trial):
+    def scenario(eng, log):
+        rnd = random.Random(1000 + trial)
+        handles = []
+
+        def cb(tag):
+            log.append((eng.now, tag))
+
+        for i in range(rnd.randint(1, 60)):
+            horizon = rnd.choice(
+                [50, 5_000, 1_000_000, 80_000_000, 3_000_000_000, 2 ** 41])
+            handles.append(eng.call_in(rnd.randint(0, horizon), cb, i,
+                                       prio=rnd.choice([0, 0, 0, -1, -2])))
+        for step in range(rnd.randint(1, 40)):
+            r = rnd.random()
+            if r < 0.45:
+                eng.run_until(eng.now + rnd.choice(
+                    [10_000, 10 ** 7, 10 ** 9, 2 ** 41]))
+            elif r < 0.8:
+                handles.append(eng.call_in(
+                    rnd.randint(0, 10_000_000), cb, 100 + step))
+            else:
+                rnd.choice(handles).cancel()
+        eng.run()
+        log.append(("pending", eng.pending(),
+                    "fired", eng.events_fired))
+
+    assert_identical(scenario)

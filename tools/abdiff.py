@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
-"""A/B determinism harness for tickless timer elision.
+"""A/B determinism harness: tickless elision × engine backend.
 
-Runs each experiment twice in one process — elision ON, then OFF (via
-``VSCHED_REPRO_TICKLESS``, read at Machine/GuestConfig construction) —
-and asserts the result tables are **byte-identical**.  Elision is a pure
-event-count optimisation: skipped guest ticks are replayed arithmetically
-and suppressed host timers fire logically at the same instants, so any
-table divergence is a correctness bug, not noise.
+Runs each experiment once per combination of two axes in one process and
+asserts every result table is **byte-identical** to the reference
+combination (first backend, elision on):
+
+* ``VSCHED_REPRO_TICKLESS`` on/off — elision is a pure event-count
+  optimisation: skipped guest ticks are replayed arithmetically and
+  suppressed host timers fire logically at the same instants.
+* ``VSCHED_REPRO_ENGINE`` heap/wheel (``--backends``) — event storage is
+  a pluggable backend behind the engine's dispatch loop; the timer wheel
+  must reproduce the heap's pop order bit-for-bit, elided or not.
+
+Any table divergence on either axis is a correctness bug, not noise.
+Fired-event counts must also agree *across backends* for the same
+tickless setting (the backends store the same events; only the data
+structure differs), and that is checked here too.
 
 Also reports the event-reduction ratio per experiment (off/on fired
 events) and the elided count, which is where the speedup claim in
@@ -16,6 +25,7 @@ Usage::
 
     PYTHONPATH=src python tools/abdiff.py --fast
     PYTHONPATH=src python tools/abdiff.py --fast --experiments fig2,fig4
+    PYTHONPATH=src python tools/abdiff.py --fast --backends heap,wheel
 """
 
 from __future__ import annotations
@@ -47,8 +57,9 @@ def table_bytes(table) -> str:
         repr(row) for row in table.rows)
 
 
-def run_once(exp_id: str, fast: bool, tickless: bool):
+def run_once(exp_id: str, fast: bool, tickless: bool, backend: str):
     os.environ["VSCHED_REPRO_TICKLESS"] = "1" if tickless else "0"
+    os.environ["VSCHED_REPRO_ENGINE"] = backend
     fired0 = Engine.total_events_fired
     elided0 = Engine.total_events_elided
     table = run_experiment(exp_id, fast=fast)
@@ -57,52 +68,85 @@ def run_once(exp_id: str, fast: bool, tickless: bool):
             Engine.total_events_elided - elided0)
 
 
+def _diff_blobs(label: str, ref: str, got: str) -> None:
+    for a, b in zip(ref.splitlines(), got.splitlines()):
+        if a != b:
+            print(f"  ref          : {a}")
+            print(f"  {label:13s}: {b}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Assert experiments are byte-identical with timer "
-                    "elision on vs off, and report the event savings.")
+        description="Assert experiments are byte-identical across timer "
+                    "elision on/off and engine backends, and report the "
+                    "event savings.")
     parser.add_argument("--fast", action="store_true",
                         help="shrunken workloads (recommended)")
     parser.add_argument("--experiments", default=None, metavar="IDS",
                         help="comma-separated experiment ids "
                              "(default: the full catalogue)")
+    parser.add_argument("--backends", default="heap", metavar="NAMES",
+                        help="comma-separated engine backends; the first "
+                             "is the reference (default: heap)")
     args = parser.parse_args(argv)
 
     ids = (args.experiments.split(",") if args.experiments else ALL_ORDER)
     ids = [i.strip() for i in ids if i.strip()]
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    combos = [(b, t) for b in backends for t in (True, False)]
 
-    saved_env = os.environ.get("VSCHED_REPRO_TICKLESS")
+    saved_tickless = os.environ.get("VSCHED_REPRO_TICKLESS")
+    saved_backend = os.environ.get("VSCHED_REPRO_ENGINE")
     diverged = []
-    total_on = total_off = 0
+    totals = {c: 0 for c in combos}
     try:
         for exp_id in ids:
-            on_blob, on_fired, on_elided = run_once(exp_id, args.fast, True)
-            off_blob, off_fired, _ = run_once(exp_id, args.fast, False)
-            total_on += on_fired
-            total_off += off_fired
-            identical = on_blob == off_blob
-            ratio = off_fired / on_fired if on_fired else float("inf")
-            status = "identical" if identical else "DIVERGED"
-            print(f"{exp_id:8s} on={on_fired:>12,d} off={off_fired:>12,d} "
-                  f"x{ratio:5.2f} elided={on_elided:>11,d}  [{status}]",
-                  flush=True)
-            if not identical:
-                diverged.append(exp_id)
-                on_lines = on_blob.splitlines()
-                off_lines = off_blob.splitlines()
-                for a, b in zip(on_lines, off_lines):
-                    if a != b:
-                        print(f"  on : {a}")
-                        print(f"  off: {b}")
+            results = {}
+            for combo in combos:
+                backend, tickless = combo
+                results[combo] = run_once(exp_id, args.fast, tickless,
+                                          backend)
+                totals[combo] += results[combo][1]
+            ref_combo = combos[0]
+            ref_blob, ref_on_fired, _ = results[ref_combo]
+            off_fired = results[(backends[0], False)][1]
+            ratio = (off_fired / ref_on_fired if ref_on_fired
+                     else float("inf"))
+            for combo in combos:
+                backend, tickless = combo
+                blob, fired, elided = results[combo]
+                label = f"{backend}/{'on' if tickless else 'off'}"
+                bad = []
+                if blob != ref_blob:
+                    bad.append("table")
+                # Same tickless setting => the same events fire; only the
+                # storage structure differs between backends.
+                if fired != results[(backends[0], tickless)][1]:
+                    bad.append("fired-count")
+                status = "identical" if not bad else \
+                    "DIVERGED(" + ",".join(bad) + ")"
+                if combo == ref_combo:
+                    status = "reference"
+                print(f"{exp_id:8s} {label:9s} fired={fired:>12,d} "
+                      f"elided={elided:>11,d}  [{status}]", flush=True)
+                if bad:
+                    diverged.append(f"{exp_id}:{label}")
+                    if "table" in bad:
+                        _diff_blobs(label, ref_blob, blob)
+            print(f"{exp_id:8s} elision savings x{ratio:5.2f} "
+                  f"(off/on fired, {backends[0]})", flush=True)
     finally:
-        if saved_env is None:
-            os.environ.pop("VSCHED_REPRO_TICKLESS", None)
-        else:
-            os.environ["VSCHED_REPRO_TICKLESS"] = saved_env
+        for var, saved in (("VSCHED_REPRO_TICKLESS", saved_tickless),
+                           ("VSCHED_REPRO_ENGINE", saved_backend)):
+            if saved is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = saved
 
-    overall = total_off / total_on if total_on else float("inf")
-    print(f"total    on={total_on:>12,d} off={total_off:>12,d} "
-          f"x{overall:5.2f}")
+    for combo in combos:
+        backend, tickless = combo
+        print(f"total    {backend}/{'on' if tickless else 'off':3s} "
+              f"fired={totals[combo]:>12,d}")
     if diverged:
         print(f"DIVERGED: {diverged}")
         return 1

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Perf guard: fail CI when the event budget regresses.
 
-Runs a small pinned set of fast experiments and compares their
-``events_fired`` against the checked-in baseline
+Runs a small pinned set of fast experiments under *both* engine backends
+and compares their ``events_fired`` against the checked-in baseline
 (``tools/perf_baseline.json``).  The simulator is deterministic — fired
 counts are exact and platform-independent — so a count above baseline
 means a real regression in the engine or in timer elision, not noise.
 The tolerance absorbs small intentional drifts; bigger deliberate changes
 should refresh the baseline with ``--write`` in the same commit.
+
+The backend axis has **zero** tolerance: the event store decides how fast
+entries are filed and popped, never *what* runs, so the wheel backend's
+fired budget must equal the heap's exactly.  A single baseline per
+experiment covers both backends for the same reason.
 
 Usage::
 
@@ -38,14 +43,25 @@ BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 TOLERANCE_PCT = 10.0
 #: Pinned fast experiments: one host-churn-bound, one spin-bound.
 PINNED = ("fig2", "fig4")
+#: Event-store backends: identical fired budgets required (exactly — the
+#: store never decides *what* runs).
+BACKENDS = ("heap", "wheel")
 
 
-def measure(exp_id: str) -> dict:
-    fired0 = Engine.total_events_fired
-    elided0 = Engine.total_events_elided
-    run_experiment(exp_id, fast=True)
-    return {"events_fired": Engine.total_events_fired - fired0,
-            "events_elided": Engine.total_events_elided - elided0}
+def measure(exp_id: str, backend: str) -> dict:
+    saved = os.environ.get("VSCHED_REPRO_ENGINE")
+    os.environ["VSCHED_REPRO_ENGINE"] = backend
+    try:
+        fired0 = Engine.total_events_fired
+        elided0 = Engine.total_events_elided
+        run_experiment(exp_id, fast=True)
+        return {"events_fired": Engine.total_events_fired - fired0,
+                "events_elided": Engine.total_events_elided - elided0}
+    finally:
+        if saved is None:
+            os.environ.pop("VSCHED_REPRO_ENGINE", None)
+        else:
+            os.environ["VSCHED_REPRO_ENGINE"] = saved
 
 
 def main(argv=None) -> int:
@@ -56,10 +72,31 @@ def main(argv=None) -> int:
                         help="rewrite the baseline from a fresh run")
     args = parser.parse_args(argv)
 
-    measured = {exp_id: measure(exp_id) for exp_id in PINNED}
+    measured = {exp_id: {backend: measure(exp_id, backend)
+                         for backend in BACKENDS}
+                for exp_id in PINNED}
+
+    # Backend equality first: exact, no tolerance, applies to --write too
+    # (a baseline written from divergent backends would be meaningless).
+    failures = []
+    for exp_id, per_backend in measured.items():
+        ref = per_backend[BACKENDS[0]]["events_fired"]
+        for backend in BACKENDS[1:]:
+            fired = per_backend[backend]["events_fired"]
+            if fired != ref:
+                print(f"{exp_id:8s} backend {backend!r} fired={fired:,d} "
+                      f"!= {BACKENDS[0]!r} fired={ref:,d} (must be exact)")
+                failures.append(f"{exp_id}:{backend}")
+    if failures:
+        print(f"backend fired budgets diverged: {failures}")
+        return 1
+
     if args.write:
         payload = {"tolerance_pct": TOLERANCE_PCT, "fast": True,
-                   "experiments": measured}
+                   "backends": list(BACKENDS),
+                   "experiments": {exp_id: per_backend[BACKENDS[0]]
+                                   for exp_id, per_backend in
+                                   measured.items()}}
         with open(BASELINE_PATH, "w") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
@@ -69,20 +106,21 @@ def main(argv=None) -> int:
     with open(BASELINE_PATH) as fh:
         baseline = json.load(fh)
     tolerance = baseline.get("tolerance_pct", TOLERANCE_PCT)
-    failures = []
-    for exp_id, row in measured.items():
+    for exp_id, per_backend in measured.items():
         base = baseline["experiments"][exp_id]["events_fired"]
-        fired = row["events_fired"]
-        delta = 100.0 * (fired - base) / base
-        verdict = "ok"
-        if delta > tolerance:
-            verdict = f"REGRESSED (> +{tolerance:.0f}%)"
-            failures.append(exp_id)
-        elif delta < -tolerance:
-            verdict = "improved (consider --write)"
-        print(f"{exp_id:8s} fired={fired:>12,d} baseline={base:>12,d} "
-              f"{delta:+6.2f}%  elided={row['events_elided']:>11,d} "
-              f"[{verdict}]")
+        for backend in BACKENDS:
+            row = per_backend[backend]
+            fired = row["events_fired"]
+            delta = 100.0 * (fired - base) / base
+            verdict = "ok"
+            if delta > tolerance:
+                verdict = f"REGRESSED (> +{tolerance:.0f}%)"
+                failures.append(f"{exp_id}:{backend}")
+            elif delta < -tolerance:
+                verdict = "improved (consider --write)"
+            print(f"{exp_id:8s} {backend:5s} fired={fired:>12,d} "
+                  f"baseline={base:>12,d} {delta:+6.2f}%  "
+                  f"elided={row['events_elided']:>11,d} [{verdict}]")
     if failures:
         print(f"event budget regressed: {failures}")
         return 1

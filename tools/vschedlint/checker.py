@@ -105,6 +105,7 @@ def lint_module(path: Path, display_path: str) -> List[Finding]:
     findings: List[Finding] = []
     layering.check_imports(module, findings)
     layering.check_guest_abi(module, findings)
+    layering.check_heap_encapsulation(module, findings)
     determinism.check_clocks_and_rng(module, findings)
     determinism.check_unordered_iteration(module, findings)
     elision.check_elision_sync(module, findings)

@@ -47,6 +47,12 @@ NEUTRAL_MODULES = frozenset({
 #: ABI below covers every sanctioned channel).  Maps module -> names.
 GUEST_IMPORT_ALLOWLIST: dict = {}
 
+#: The package whose modules may touch ``heapq`` / ``._heap`` directly.
+#: Everything else goes through the Engine API (call_at/call_in/cancel) or
+#: the backend protocol (push/pop_due/note_cancelled), so the event store
+#: stays swappable (heap vs timer wheel) without grep-and-pray refactors.
+HEAP_OWNER_PACKAGE = "repro.sim"
+
 # ---------------------------------------------------------------------------
 # Guest-visible runtime ABI (attribute allowlist)
 # ---------------------------------------------------------------------------
