@@ -1,5 +1,6 @@
 """VM-type builders (rcvm / hpvm) and experiment scenario helpers."""
 
+from repro.cluster.antagonists import InstalledAntagonist, install_antagonist
 from repro.cluster.scenarios import (
     MODES,
     attach_scheduler,
@@ -40,4 +41,6 @@ __all__ = [
     "overcommit_with_stress",
     "run_to_completion",
     "warmup",
+    "InstalledAntagonist",
+    "install_antagonist",
 ]

@@ -1,0 +1,107 @@
+"""Antagonist installation: replay an attack plan on the host machine.
+
+:mod:`repro.workloads.antagonists` defines the adversary family as pure
+plans; this module is the half allowed to touch the hypervisor.  An
+:class:`InstalledAntagonist` materializes one spec against one VM's
+hardware threads — duty-cycling host tasks, a seeded burst schedule, or
+an online bandwidth-retuning controller — entirely from public
+:class:`~repro.hypervisor.machine.Machine` APIs, so every antagonist run
+is an ordinary deterministic event-graph the campaign cache can key on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.vmtypes import VmEnvironment
+from repro.hypervisor.entity import HostTask
+from repro.sim.engine import SEC
+from repro.workloads.antagonists import (
+    AntagonistSpec,
+    BurstPlan,
+    DutyCyclePlan,
+    QuotaPlan,
+    build_plan,
+)
+
+
+class InstalledAntagonist:
+    """One antagonist spec, installed and running against a VM."""
+
+    def __init__(self, env: VmEnvironment, spec: AntagonistSpec,
+                 threads: Optional[Sequence[int]] = None,
+                 horizon_ns: int = 60 * SEC):
+        self.env = env
+        self.spec = spec
+        #: Hardware threads under attack: default every thread hosting one
+        #: of the VM's (pinned) vCPUs.
+        if threads is None:
+            threads = sorted({v.pinned[0] for v in env.vm.vcpus
+                              if v.pinned is not None})
+        self.threads = tuple(threads)
+        self.plan = build_plan(spec, horizon_ns)
+        self.tasks: List[HostTask] = []
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> "InstalledAntagonist":
+        if self._installed:
+            return self
+        self._installed = True
+        if isinstance(self.plan, DutyCyclePlan):
+            self._install_duty(self.plan)
+        elif isinstance(self.plan, BurstPlan):
+            self._install_bursts(self.plan)
+        elif isinstance(self.plan, QuotaPlan):
+            self._install_quota(self.plan)
+        else:  # pragma: no cover - build_plan is exhaustive
+            raise TypeError(f"unknown plan {self.plan!r}")
+        return self
+
+    def remove(self) -> None:
+        """Stop the co-runner tasks (phase end).  Bandwidth retunes that
+        are already scheduled still fire; the quota class models a host
+        controller, not a removable tenant."""
+        machine = self.env.machine
+        for task in self.tasks:
+            machine.remove_host_task(task)
+
+    # ------------------------------------------------------------------
+    def _install_duty(self, plan: DutyCyclePlan) -> None:
+        machine = self.env.machine
+        for t in self.threads:
+            self.tasks.append(machine.add_host_task(
+                f"{self.spec.kind}-{t}", weight=plan.weight, pinned=(t,),
+                duty_on_ns=plan.on_ns, duty_off_ns=plan.off_ns,
+                phase_ns=plan.phase_ns))
+
+    def _install_bursts(self, plan: BurstPlan) -> None:
+        machine = self.env.machine
+        engine = self.env.engine
+        for t in self.threads:
+            task = machine.add_host_task(
+                f"{self.spec.kind}-{t}", weight=plan.weight, pinned=(t,),
+                start=False)
+            self.tasks.append(task)
+            for start, duration in plan.bursts:
+                engine.call_in(start, machine.wake_entity, task)
+                engine.call_in(start + duration, machine.block_entity, task)
+
+    def _install_quota(self, plan: QuotaPlan) -> None:
+        machine = self.env.machine
+        engine = self.env.engine
+        # The controller retunes the whole VM: every vCPU gets the same
+        # quota/period, phase-staggered by index as real per-thread cgroup
+        # refresh timers are.
+        for at, quota, period in plan.updates:
+            for i, vcpu in enumerate(self.env.vm.vcpus):
+                engine.call_in(at, machine.set_bandwidth, vcpu, quota,
+                               period, (i * 173) % period)
+
+
+def install_antagonist(env: VmEnvironment, spec: AntagonistSpec,
+                       threads: Optional[Sequence[int]] = None,
+                       horizon_ns: int = 60 * SEC) -> InstalledAntagonist:
+    """Build and install one antagonist; returns the installed handle."""
+    return InstalledAntagonist(env, spec, threads=threads,
+                               horizon_ns=horizon_ns).install()

@@ -64,6 +64,42 @@ class VSchedConfig:
     #: Seed label for prober measurement noise.
     seed: str = "vsched"
 
+    # --- prober hardening (robustness against adversarial co-tenants) ---
+    #: Route prober samples through the robust estimator layer
+    #: (:mod:`repro.probers.robust`).  Off by default: the stock publish
+    #: paths stay byte-identical.
+    robust_probers: bool = False
+    #: Median/MAD window size (accepted samples).
+    robust_window: int = 5
+    #: Outlier cut in robust standard deviations.
+    robust_mad_k: float = 3.5
+    #: Quarantine when the accepted fraction drops below this.
+    robust_min_confidence: float = 0.5
+    #: Consecutive clean samples needed to leave quarantine.
+    robust_recovery_windows: int = 3
+    #: vcap cross-check gate: window share may diverge from the tick-grid
+    #: steal baseline by at most this much before the sample is distrusted.
+    robust_grid_gate: float = 0.3
+    #: vact regime hysteresis (consecutive agreeing windows to flip).
+    robust_hysteresis_windows: int = 2
+    #: vtop: consecutive identical probes before a *changed* topology view
+    #: is believed.
+    robust_topology_confirmations: int = 2
+
+    def robust_params(self) -> Optional[dict]:
+        """The parameter dict handed to the probers; None when off."""
+        if not self.robust_probers:
+            return None
+        return {
+            "window": self.robust_window,
+            "mad_k": self.robust_mad_k,
+            "min_confidence": self.robust_min_confidence,
+            "recovery_windows": self.robust_recovery_windows,
+            "grid_gate": self.robust_grid_gate,
+            "hysteresis_windows": self.robust_hysteresis_windows,
+            "topology_confirmations": self.robust_topology_confirmations,
+        }
+
     # ------------------------------------------------------------------
     @classmethod
     def baseline(cls) -> "VSchedConfig":
@@ -102,23 +138,26 @@ class VSched:
         self.rwc: Optional[RelaxedWorkConservation] = None
 
         probing = cfg.enable_vcap or cfg.enable_vact or cfg.enable_vtop
+        robust = cfg.robust_params()
         if probing:
             self.module = VSchedModule(kernel, cfg.ema_halflife_periods)
         if cfg.enable_vact:
-            self.vact = VAct(kernel, self.module)
+            self.vact = VAct(kernel, self.module, robust=robust)
         if cfg.enable_vcap:
             self.vcap = VCap(
                 kernel, self.module,
                 sampling_period_ns=cfg.vcap_period_ns,
                 light_interval_ns=cfg.vcap_light_interval_ns,
                 heavy_every=cfg.vcap_heavy_every,
-                vact=self.vact)
+                vact=self.vact,
+                robust=robust)
         if cfg.enable_vtop:
             self.vtop = VTop(
                 kernel, self.module, make_rng(cfg.seed),
                 interval_ns=cfg.vtop_interval_ns,
                 target_transfers=cfg.vtop_transfers,
-                timeout_attempts=cfg.vtop_timeout_attempts)
+                timeout_attempts=cfg.vtop_timeout_attempts,
+                robust=robust)
         if cfg.enable_bvs:
             self._require_probing("bvs")
             self.bvs = BiasedVCpuSelection(kernel, self.module)

@@ -90,6 +90,7 @@ EXPERIMENTS: Dict[str, str] = {
     "fig19": "repro.experiments.fig19_overall_hpvm",
     "fig20": "repro.experiments.fig20_cost",
     "fig21": "repro.experiments.fig21_overhead",
+    "figA1": "repro.experiments.figA1_antagonists",
 }
 
 

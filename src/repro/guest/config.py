@@ -35,6 +35,12 @@ class GuestConfig:
     migration_cost_ns: int = 30 * USEC
     #: Steal increase per tick below this is filtered as noise by vact.
     steal_jump_threshold_ns: int = 200 * USEC
+    #: Floor for the graze counter: a steal jump in [floor, threshold) is
+    #: too small to count as a preemption but too large to be noise — the
+    #: signature of a co-runner stealing in sub-threshold slices every
+    #: tick (a tick-evading antagonist).  The hardened vact reads the
+    #: count to re-qualify such windows; stock vact ignores it.
+    steal_graze_floor_ns: int = 25 * USEC
     #: Heartbeat staleness (in ticks) that marks a vCPU host-inactive.
     heartbeat_stale_ticks: int = 3
     #: Idle window within which a halted vCPU is woken via the polling

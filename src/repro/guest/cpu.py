@@ -84,6 +84,7 @@ class GuestCpu:
         self.active_since_est = 0
         self.tick_steal_last = 0
         self.preempt_count = 0
+        self.steal_graze_count = 0
 
         # --- default CFS capacity estimate (steal-based, §5.3) -------------
         self.cfs_capacity = 1024.0

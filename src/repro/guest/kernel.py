@@ -558,6 +558,11 @@ class GuestKernel:
         if jump >= self.config.steal_jump_threshold_ns:
             cpu.preempt_count += 1
             cpu.active_since_est = now
+        elif jump >= self.config.steal_graze_floor_ns:
+            # Sub-threshold steal: filtered from preempt_count as noise,
+            # but tallied so the hardened vact can tell "ran undisturbed"
+            # from "was shaved every tick by sub-threshold slices".
+            cpu.steal_graze_count += 1
         self._update_default_capacity(cpu, now, jump)
 
     def _update_default_capacity(self, cpu: GuestCpu, now: int, steal_jump: int) -> None:

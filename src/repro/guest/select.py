@@ -113,10 +113,25 @@ class WakePlacer:
                     groups.append(g)
         if not groups:
             return domains.all_cpus()
-        return min(groups, key=lambda g: (self._domain_load(g), min(g)))
+        return min(groups, key=lambda g: (self._count_load(g), min(g)))
 
-    def _domain_load(self, domain) -> int:
+    def _count_load(self, domain) -> int:
+        """Raw queued-task count; fork placement spreads *instances*, so
+        a busy-but-fast socket must not attract extra forks just because
+        its queues drain quickly."""
         return sum(self.kernel.cpus[c].rq.nr_total() for c in domain)
+
+    def _domain_load(self, domain) -> float:
+        """Capacity-normalized domain load for the wake-affinity
+        comparison (the sum_util/group_capacity comparison of
+        update_sg_lb_stats).  Raw task counts misrank domains the moment
+        LLC domains and per-CPU capacities are both real: wake affinity
+        then consolidates communicating tasks onto a low-capacity socket
+        that merely *queues* fewer tasks.  With uniform capacities this
+        reduces exactly to the task count."""
+        kernel = self.kernel
+        return sum(kernel.cpus[c].rq.nr_total() * 1024.0
+                   / max(1.0, kernel.capacity_of(c)) for c in domain)
 
     def _idle_for_placement(self, cpu) -> bool:
         rq = cpu.rq

@@ -114,17 +114,25 @@ class Machine:
         duty_on_ns: Optional[int] = None,
         duty_off_ns: Optional[int] = None,
         start: bool = True,
+        phase_ns: int = 0,
     ) -> HostTask:
-        """Add a host-side stress task (contention generator)."""
+        """Add a host-side stress task (contention generator).
+
+        ``phase_ns`` delays the first wake, so a duty-cycling task can be
+        phase-locked to an arbitrary grid origin (the antagonist scenarios
+        align theirs with the guest tick or the vcap window schedule).
+        """
         task = HostTask(name, weight=weight, pinned=pinned,
                         duty_on_ns=duty_on_ns, duty_off_ns=duty_off_ns)
         self.host_tasks.append(task)
         self._register(task)
         if start:
-            if task.duty_on_ns is not None:
-                self._duty_on(task)
+            first = (self._duty_on if task.duty_on_ns is not None
+                     else self.wake_entity)
+            if phase_ns > 0:
+                self.engine.call_in(phase_ns, first, task)
             else:
-                self.wake_entity(task)
+                first(task)
         return task
 
     def remove_host_task(self, task: HostTask) -> None:

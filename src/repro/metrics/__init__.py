@@ -1,5 +1,8 @@
-"""Measurement utilities: percentiles, normalization, cycle accounting."""
+"""Measurement utilities: percentiles, normalization, cycle accounting,
+prober degradation reports."""
 
+from repro.metrics.degradation import DegradationReport, GroundTruthTracker
 from repro.metrics.measures import CycleMeter, CycleSample, normalize, p50, p95
 
-__all__ = ["p95", "p50", "normalize", "CycleMeter", "CycleSample"]
+__all__ = ["p95", "p50", "normalize", "CycleMeter", "CycleSample",
+           "DegradationReport", "GroundTruthTracker"]

@@ -1,7 +1,13 @@
 """vProbers: user-level microbenchmarks exposing accurate vCPU abstraction."""
 
+from repro.probers.robust import (
+    HysteresisGate,
+    RobustScalarEstimator,
+    TopologyQuarantine,
+)
 from repro.probers.vact import VAct
 from repro.probers.vcap import VCap
 from repro.probers.vtop import PairProbe, VTop, classify
 
-__all__ = ["VCap", "VAct", "VTop", "PairProbe", "classify"]
+__all__ = ["VCap", "VAct", "VTop", "PairProbe", "classify",
+           "RobustScalarEstimator", "HysteresisGate", "TopologyQuarantine"]

@@ -1,0 +1,196 @@
+"""Robust estimation for the vProbers (hardening, opt-in).
+
+The probers infer capacity/activity/topology from timing signals an
+adversarial co-tenant can game (Zhou et al.: tick-evading duty cycles,
+probe-window poisoning, theft-of-service bursts).  This module holds the
+estimator layer the probers route their raw window samples through when
+``VSchedConfig.robust_probers`` is on:
+
+* **median-of-windows** — the published value is the median of the last K
+  accepted samples, so a single poisoned window moves nothing;
+* **MAD outlier rejection** — a sample farther than ``mad_k`` robust
+  standard deviations (median absolute deviation) from the window median
+  is rejected instead of ingested;
+* **quarantine with graceful degradation** — when the accepted fraction of
+  recent samples drops below ``min_confidence``, the estimator stops
+  believing its own signal: it freezes on the last stable estimate (or
+  reports "no estimate" so the caller can fall back to a coarser,
+  unspoofable source) until ``recovery_windows`` consecutive samples are
+  clean again;
+* **hysteresis** — regime flips (vact's dedicated vs. contended
+  transition) require consecutive agreeing windows, so a flapping signal
+  cannot whipsaw the published activity.
+
+Everything here is pure arithmetic on values the probers already measure:
+no new guest-visible surface, no hypervisor access, no RNG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class RobustScalarEstimator:
+    """Median/MAD filter with quarantine for one scalar signal.
+
+    Feed each raw window sample through :meth:`ingest`; the return value is
+    what the caller should publish (the running median), the last stable
+    estimate while quarantined, or ``None`` when no trustworthy estimate
+    exists yet (the caller then degrades to its fallback source or skips
+    the publish entirely).
+    """
+
+    def __init__(self, window: int = 5, mad_k: float = 3.5,
+                 min_confidence: float = 0.5, recovery_windows: int = 3,
+                 rel_floor: float = 0.04):
+        if window < 3:
+            raise ValueError("robust window must hold at least 3 samples")
+        self.window = window
+        self.mad_k = mad_k
+        self.min_confidence = min_confidence
+        self.recovery_windows = recovery_windows
+        #: MAD floor as a fraction of the median, so a near-constant clean
+        #: signal does not reject legitimate small moves as outliers.
+        self.rel_floor = rel_floor
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._decisions: Deque[bool] = deque(maxlen=window)
+        self.quarantined = False
+        self.last_stable: Optional[float] = None
+        self._recovery_streak = 0
+        # --- counters (degradation report / tests) ---------------------
+        self.rejected_samples = 0
+        self.quarantine_entries = 0
+        self.quarantined_windows = 0
+
+    # ------------------------------------------------------------------
+    def is_outlier(self, value: float) -> bool:
+        """MAD test against the accepted-sample window."""
+        if len(self._samples) < 3:
+            return False
+        med = _median(list(self._samples))
+        mad = _median([abs(x - med) for x in self._samples])
+        scale = max(mad, abs(med) * self.rel_floor, 1e-9)
+        return abs(value - med) > self.mad_k * scale
+
+    def confidence(self) -> float:
+        """Accepted fraction of the recent ingest decisions."""
+        if not self._decisions:
+            return 1.0
+        return sum(self._decisions) / len(self._decisions)
+
+    def ingest(self, value: float, consistent: bool = True) -> Optional[float]:
+        """One raw window sample in, the value to publish out.
+
+        ``consistent=False`` marks a sample the caller's own cross-check
+        already distrusts (e.g. vcap's window share diverging from the
+        tick-grid steal average); it is rejected regardless of the MAD
+        test and counts against confidence the same way.
+        """
+        accept = consistent and not self.is_outlier(value)
+        self._decisions.append(accept)
+        if accept:
+            self._samples.append(value)
+        else:
+            self.rejected_samples += 1
+
+        if not self.quarantined:
+            if (len(self._decisions) >= 3
+                    and self.confidence() < self.min_confidence):
+                self.quarantined = True
+                self.quarantine_entries += 1
+                self._recovery_streak = 0
+        if self.quarantined:
+            if accept:
+                self._recovery_streak += 1
+                if self._recovery_streak >= self.recovery_windows:
+                    self.quarantined = False
+            else:
+                self._recovery_streak = 0
+            if self.quarantined:
+                self.quarantined_windows += 1
+                return self.last_stable
+
+        if not self._samples:
+            return self.last_stable
+        estimate = _median(list(self._samples))
+        self.last_stable = estimate
+        return estimate
+
+
+class HysteresisGate:
+    """Debounce a boolean regime signal: flip only after ``n`` consecutive
+    windows agree on the new regime (vact's dedicated/contended edge)."""
+
+    def __init__(self, initial: bool = False, n: int = 2):
+        self.state = initial
+        self.n = n
+        self._streak = 0
+        self.suppressed_flips = 0
+
+    def update(self, observed: bool) -> bool:
+        if observed == self.state:
+            self._streak = 0
+            return self.state
+        self._streak += 1
+        if self._streak >= self.n:
+            self.state = observed
+            self._streak = 0
+        else:
+            self.suppressed_flips += 1
+        return self.state
+
+
+class TopologyQuarantine:
+    """Confirmation gate for probed topology views.
+
+    A topology that *differs* from the last published one is held back
+    until the identical view is probed again on the next round: one
+    poisoned probe pass (inflated pair latencies misclassifying siblings)
+    then changes nothing.  An unchanged view always passes through.
+    """
+
+    def __init__(self, confirmations: int = 2):
+        self.confirmations = confirmations
+        self._published_sig = None
+        self._pending_sig = None
+        self._pending_count = 0
+        self.quarantined_views = 0
+
+    @staticmethod
+    def signature(view) -> tuple:
+        return (tuple(tuple(sorted(view.smt_siblings[c]))
+                      for c in range(view.n_cpus)),
+                tuple(tuple(sorted(view.socket_siblings[c]))
+                      for c in range(view.n_cpus)),
+                tuple(sorted(tuple(sorted(g)) for g in view.stack_groups)))
+
+    def admit(self, view) -> bool:
+        """True when ``view`` may be published now."""
+        sig = self.signature(view)
+        if self._published_sig is None or sig == self._published_sig:
+            self._published_sig = sig
+            self._pending_sig = None
+            self._pending_count = 0
+            return True
+        if sig == self._pending_sig:
+            self._pending_count += 1
+        else:
+            self._pending_sig = sig
+            self._pending_count = 1
+        if self._pending_count >= self.confirmations:
+            self._published_sig = sig
+            self._pending_sig = None
+            self._pending_count = 0
+            return True
+        self.quarantined_views += 1
+        return False

@@ -31,6 +31,7 @@ from repro.guest.cgroup import TaskGroup
 from repro.guest.kernel import GuestKernel
 from repro.guest.task import Policy, Task
 from repro.core.weights import weight_for_nice
+from repro.probers.robust import RobustScalarEstimator
 from repro.sim.engine import MSEC, SEC, USEC
 
 
@@ -47,6 +48,7 @@ class VCap:
         prober_chunk_ns: int = 200 * USEC,
         heavy_weight: int = weight_for_nice(-10),
         vact=None,
+        robust: Optional[dict] = None,
     ):
         self.kernel = kernel
         self.module = module
@@ -56,6 +58,10 @@ class VCap:
         self.prober_chunk_ns = prober_chunk_ns
         self.heavy_weight = heavy_weight
         self.vact = vact
+        #: Robust-estimation parameters (``VSchedConfig.robust_probers``);
+        #: None keeps the stock direct-publish path bit-for-bit.
+        self.robust = robust
+        self._estimators: Dict[int, RobustScalarEstimator] = {}
         #: cgroup for light probers; rwc may shrink it (stacked bans) while
         #: still letting vcap probe stragglers.
         self.group: TaskGroup = kernel.new_group("vcap")
@@ -65,6 +71,11 @@ class VCap:
         self.windows_completed = 0
         #: Wall time vcap's probers have consumed (cost accounting, §5.9).
         self.prober_cpu_ns = 0
+        #: Windows whose elapsed wall time came out non-positive (a
+        #: pathological steal storm landing the end event at/before the
+        #: staggered spawn): the rate divisions are clamped and the event
+        #: counted instead of publishing an inf/NaN capacity.
+        self.degenerate_windows = 0
 
     # ------------------------------------------------------------------
     def start(self, initial_delay_ns: int = 10 * MSEC) -> None:
@@ -98,6 +109,8 @@ class VCap:
         probers: Dict[int, Task] = {}
         steal_before: Dict[int, int] = {}
         preempt_before: Dict[int, int] = {}
+        graze_before: Dict[int, int] = {}
+        grid_before: Dict[int, float] = {}
         spawn_time: Dict[int, int] = {}
 
         def spawn_one(c: int) -> None:
@@ -110,7 +123,18 @@ class VCap:
             cpu._catch_up()
             steal_before[c] = self.kernel.steal_of(c)
             preempt_before[c] = cpu.preempt_count
-            spawn_time[c] = self.kernel.now()
+            graze_before[c] = cpu.steal_graze_count
+            now_ns = self.kernel.now()
+            # Tick-grid steal average at window *start*: its ~32 ms
+            # half-life still reflects the un-probed span before the
+            # window, which a probe-window poisoner cannot fake.  Stale
+            # (idle CPU) baselines are marked unusable.
+            if self.robust is not None:
+                fresh = (now_ns - cpu._cap_touch) <= self.GRID_STALE_NS
+                grid_before[c] = (max(0.0, 1.0 - cpu.steal_frac_avg)
+                                  if fresh and cpu.current is not None
+                                  else -1.0)
+            spawn_time[c] = now_ns
             policy = Policy.NORMAL if heavy else Policy.IDLE
             weight = self.heavy_weight if heavy else None
             probers[c] = self.kernel.spawn(
@@ -126,7 +150,7 @@ class VCap:
         self.kernel.engine.call_in(
             self.sampling_period_ns, self._end_window,
             heavy, cpus, stop_flag, probers, steal_before, preempt_before,
-            spawn_time)
+            graze_before, grid_before, spawn_time)
 
     #: Growth cap for coalesced prober chunks (in base chunks).  1 keeps
     #: the seed's fixed base-chunk polling.  Raising it shrinks the prober
@@ -165,9 +189,15 @@ class VCap:
 
         return body
 
+    #: Tick-grid baselines older than this at window start are unusable
+    #: (the CPU idled; steal is only observable while busy).
+    GRID_STALE_NS = 5 * MSEC
+
     def _end_window(self, heavy: bool, cpus: List[int], stop_flag: List[bool],
                     probers: Dict[int, Task], steal_before: Dict[int, int],
                     preempt_before: Dict[int, int],
+                    graze_before: Dict[int, int],
+                    grid_before: Dict[int, float],
                     spawn_time: Dict[int, int]) -> None:
         stop_flag[0] = True
         self._window_open = False
@@ -179,10 +209,22 @@ class VCap:
         for c in cpus:
             if c not in probers:
                 continue  # spawn was still pending when the window closed
-            window = max(1, now - spawn_time[c])
+            window = now - spawn_time[c]
+            if window <= 0:
+                # Pathological steal can stall the staggered spawn until
+                # the end event's instant: the window-rate divisions below
+                # would blow up (or publish a meaningless share), so clamp
+                # and count instead.
+                self.degenerate_windows += 1
+                window = 1
             steal_delta = self.kernel.steal_of(c) - steal_before[c]
             share = min(1.0, max(0.0, 1.0 - steal_delta / window))
             entry = self.module.store[c]
+            #: Whether this window's share survived the tick-grid
+            #: cross-check (always, off the hardened path); vact's
+            #: hardened estimator distrusts its half of the same window
+            #: when vcap's half was poisoned.
+            grid_ok = True
             if heavy:
                 # Heavy windows exist to measure the hosting core's
                 # capacity via the prober's self-measured execution rate.
@@ -193,11 +235,20 @@ class VCap:
                 wall = task.stats.wall_running
                 if wall > 1000:  # enough signal to trust the rate
                     rate = task.stats.work_done / wall
-                    entry.core_capacity = 1024.0 * rate
-            else:
+                    if rate > 0.0:
+                        entry.core_capacity = 1024.0 * rate
+                    else:
+                        self.degenerate_windows += 1
+            elif self.robust is None:
                 self.module.publish_capacity(c, share * entry.core_capacity)
+            else:
+                grid_ok = self._publish_robust(c, share, entry,
+                                               grid_before.get(c, -1.0))
             preempts = self.kernel.cpus[c].preempt_count - preempt_before[c]
-            activity_samples.append((c, steal_delta, preempts, window))
+            grazes = (self.kernel.cpus[c].steal_graze_count
+                      - graze_before.get(c, 0))
+            activity_samples.append((c, steal_delta, preempts, grazes,
+                                     window, grid_ok))
             self.prober_cpu_ns += probers[c].stats.wall_running
         if self.vact is not None:
             self.vact.on_window(activity_samples)
@@ -206,3 +257,42 @@ class VCap:
         if self._running:
             delay = max(1, self.light_interval_ns - self.sampling_period_ns)
             self.kernel.engine.call_in(delay, self._begin_window)
+
+    # ------------------------------------------------------------------
+    # Hardened publish path (robust_probers)
+    # ------------------------------------------------------------------
+    def _publish_robust(self, c: int, share: float, entry,
+                        grid_share: float) -> bool:
+        """Route one light-window capacity sample through the robust
+        estimator: cross-check the window share against the tick-grid
+        steal average baselined at window start, reject outliers, and
+        degrade to the last stable estimate (or the grid estimate) while
+        quarantined.  Returns the cross-check verdict so vact can distrust
+        its half of the same window."""
+        est = self._estimators.get(c)
+        if est is None:
+            est = self._estimators[c] = RobustScalarEstimator(
+                window=self.robust["window"],
+                mad_k=self.robust["mad_k"],
+                min_confidence=self.robust["min_confidence"],
+                recovery_windows=self.robust["recovery_windows"])
+        consistent = (grid_share < 0.0
+                      or abs(share - grid_share) <= self.robust["grid_gate"])
+        value = est.ingest(share * entry.core_capacity,
+                           consistent=consistent)
+        if value is None and grid_share >= 0.0:
+            # No stable estimate yet: degrade to the coarse tick-grid
+            # estimate, which integrates all busy time and cannot be
+            # window-poisoned.
+            value = grid_share * entry.core_capacity
+        if value is not None:
+            self.module.publish_capacity(c, value)
+        return consistent
+
+    @property
+    def samples_rejected(self) -> int:
+        return sum(e.rejected_samples for e in self._estimators.values())
+
+    @property
+    def quarantined_windows(self) -> int:
+        return sum(e.quarantined_windows for e in self._estimators.values())

@@ -27,6 +27,7 @@ from repro.guest.cgroup import TaskGroup
 from repro.guest.kernel import GuestKernel
 from repro.guest.task import Policy
 from repro.core.weights import weight_for_nice
+from repro.probers.robust import TopologyQuarantine
 from repro.sim.engine import MSEC, SEC, USEC
 
 #: Classification outcomes for a measured pair latency.
@@ -246,6 +247,7 @@ class VTop:
         target_transfers: int = 500,
         timeout_attempts: int = 15000,
         attempt_ns: int = 600,
+        robust: Optional[dict] = None,
     ):
         self.kernel = kernel
         self.module = module
@@ -254,6 +256,12 @@ class VTop:
         self.target_transfers = target_transfers
         self.timeout_attempts = timeout_attempts
         self.attempt_ns = attempt_ns
+        #: Robust-estimation parameters (``VSchedConfig.robust_probers``);
+        #: None publishes every probed view immediately, as stock vtop does.
+        self.robust = robust
+        self.quarantine = (
+            TopologyQuarantine(confirmations=robust["topology_confirmations"])
+            if robust is not None else None)
         #: vtop may probe every vCPU, including rwc-banned stacked ones
         #: (the one exception the paper allows, §3.4).
         self.group: TaskGroup = kernel.new_group("vtop")
@@ -284,6 +292,15 @@ class VTop:
         def finished(view: TopologyView) -> None:
             self.last_full_ns = self.kernel.now() - started
             self.full_probes += 1
+            if self.quarantine is not None and not self.quarantine.admit(view):
+                # A view that *changed* needs back-to-back confirmation: one
+                # poisoned probe pass (a co-runner inflating pair latencies
+                # into misclassification) then publishes nothing, and the
+                # scheduler keeps running on the previous topology.
+                self._busy = False
+                if on_done is not None:
+                    on_done(self.view)
+                return
             self.view = view
             self.module.publish_topology(view)
             self._busy = False

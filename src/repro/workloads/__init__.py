@@ -1,5 +1,13 @@
 """Workload generators for the paper's 34-benchmark evaluation suite."""
 
+from repro.workloads.antagonists import (
+    ANTAGONIST_KINDS,
+    AntagonistSpec,
+    BurstPlan,
+    DutyCyclePlan,
+    QuotaPlan,
+    build_plan,
+)
 from repro.workloads.apps import Fio, Hackbench, Pbzip2
 from repro.workloads.base import BestEffortFiller, RequestRecord, Workload, WorkloadContext
 from repro.workloads.parsec import (
@@ -23,6 +31,12 @@ from repro.workloads.synthetic import CpuBoundJob, Matmul, SelfMigratingJob, Sys
 from repro.workloads.tailbench import TAILBENCH, LatencyWorkload, TailbenchSpec
 
 __all__ = [
+    "ANTAGONIST_KINDS",
+    "AntagonistSpec",
+    "DutyCyclePlan",
+    "BurstPlan",
+    "QuotaPlan",
+    "build_plan",
     "Workload",
     "WorkloadContext",
     "RequestRecord",

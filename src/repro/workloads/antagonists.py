@@ -1,0 +1,193 @@
+"""Adversarial co-tenant antagonists: the attack-plan library.
+
+The vProbers infer capacity/activity/topology from timing signals, and a
+co-located tenant (or a host-side controller) can shape those signals.
+This module defines the scheduler-level adversary family as **pure,
+seeded, deterministic plans** — plain frozen dataclasses whose ``repr``
+doubles as a cache key, plus plan builders that derive every timing
+parameter from an :class:`AntagonistSpec`.  Nothing here touches the
+hypervisor; installation (driving the host machine) lives in
+:mod:`repro.cluster.antagonists`, keeping this module guest-side clean.
+
+The five classes:
+
+* ``tick_evader`` — duty cycler phase-locked to the guest accounting
+  grid: it steals a sub-threshold slice every tick, so each tick's steal
+  jump lands *below* vact's preemption threshold.  Naive vact counts zero
+  preemptions and concludes "dedicated vCPU" while capacity quietly leaks.
+* ``probe_poisoner`` — spins (heavy weight) only during vcap's sampling
+  windows, whose 1 Hz grid is observable.  Naive vcap's window share then
+  measures the poisoner, not the normal share; outside the windows the
+  vCPU runs nearly unmolested.
+* ``steal_flapper`` — alternates heavy contention and silence with a
+  period incommensurate with the sampling grid, whipsawing naive EMAs
+  between extremes that never match the long-run average.
+* ``burst_thief`` — theft-of-service neighbor: long quiet stretches, then
+  short very-heavy bursts at seeded-random instants.  The long-run damage
+  is small but each burst craters instantaneous estimates.
+* ``adaptive_quota`` — a host-side bandwidth controller retuning a VM's
+  quota/period online.  Not malicious, but the same failure mode: the
+  capacity signal moves faster than naive smoothing can track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.weights import weight_for_nice
+from repro.sim.engine import MSEC, SEC, USEC
+from repro.sim.rng import make_rng
+
+#: The antagonist class names, in canonical order (figure rows, CI smoke).
+ANTAGONIST_KINDS = ("tick_evader", "probe_poisoner", "steal_flapper",
+                    "burst_thief", "adaptive_quota")
+
+
+@dataclass(frozen=True)
+class AntagonistSpec:
+    """One adversary instance: class, strength, and RNG seed label.
+
+    ``intensity`` scales each class's principal knob over [0, 1] (duty
+    fraction, co-runner weight, burst length, retune amplitude); 1.0 is
+    the default "clearly adversarial yet plausible tenant" point used by
+    the figA1 sweep.  ``repr`` of this frozen dataclass is part of the
+    experiment cache key, so every field must stay plain data.
+    """
+
+    kind: str
+    intensity: float = 1.0
+    seed: str = "antagonist"
+
+    def __post_init__(self):
+        if self.kind not in ANTAGONIST_KINDS:
+            raise ValueError(f"unknown antagonist kind {self.kind!r}")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError("intensity must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DutyCyclePlan:
+    """Periodic on/off co-runner, one per targeted hardware thread."""
+
+    on_ns: int
+    off_ns: int
+    phase_ns: int = 0
+    weight: int = weight_for_nice(0)
+
+
+@dataclass(frozen=True)
+class BurstPlan:
+    """Seeded burst schedule: ``bursts`` holds (start_ns, duration_ns)."""
+
+    bursts: Tuple[Tuple[int, int], ...]
+    weight: int
+
+
+@dataclass(frozen=True)
+class QuotaPlan:
+    """Online bandwidth retuning: (at_ns, quota_ns, period_ns) updates."""
+
+    updates: Tuple[Tuple[int, int, int], ...]
+
+
+# ---------------------------------------------------------------------------
+# Plan builders — pure functions of (spec, grid constants)
+# ---------------------------------------------------------------------------
+def tick_evader_plan(spec: AntagonistSpec,
+                     tick_ns: int = 1 * MSEC,
+                     graze_floor_ns: int = 25 * USEC,
+                     preempt_threshold_ns: int = 200 * USEC) -> DutyCyclePlan:
+    """Steal a per-tick slice inside [graze floor, preempt threshold).
+
+    The on-time interpolates from just above the noise floor (intensity 0)
+    to 80% of the preemption threshold (intensity 1) — never crossing it,
+    which is the whole point of the evasion.
+    """
+    lo = int(1.6 * graze_floor_ns)
+    hi = int(0.8 * preempt_threshold_ns)
+    on = lo + int(spec.intensity * (hi - lo))
+    return DutyCyclePlan(on_ns=on, off_ns=tick_ns - on,
+                         weight=weight_for_nice(-5))
+
+
+def probe_poisoner_plan(spec: AntagonistSpec,
+                        window_interval_ns: int = 1 * SEC,
+                        window_len_ns: int = 100 * MSEC,
+                        window_start_ns: int = 10 * MSEC) -> DutyCyclePlan:
+    """Spin at heavy weight across each vcap sampling window.
+
+    The on-phase covers the window plus the spawn stagger slack, leading
+    it slightly so the poisoner is already queued when probers spawn.
+    Intensity sets the poisoner's weight: at 1.0 it outweighs a nice-0
+    vCPU 3:1, collapsing the naive window share to ~25%.
+    """
+    lead = 2 * MSEC
+    on = window_len_ns + 12 * MSEC + lead
+    weight = int(weight_for_nice(0) * (0.5 + 2.5 * spec.intensity))
+    return DutyCyclePlan(on_ns=on, off_ns=window_interval_ns - on,
+                         phase_ns=max(0, window_start_ns - lead),
+                         weight=weight)
+
+
+def steal_flapper_plan(spec: AntagonistSpec) -> DutyCyclePlan:
+    """Alternate contention/silence out of phase with the sampling grid.
+
+    The 370/430 ms duty period shares no small common multiple with the
+    1 s window grid, so consecutive windows sample wildly different duty
+    phases and a naive EMA never settles.  Intensity sets the contending
+    weight (0.5×–2× a nice-0 vCPU).
+    """
+    weight = int(weight_for_nice(0) * (0.5 + 1.5 * spec.intensity))
+    return DutyCyclePlan(on_ns=370 * MSEC, off_ns=430 * MSEC, weight=weight)
+
+
+def burst_thief_plan(spec: AntagonistSpec,
+                     horizon_ns: int = 60 * SEC) -> BurstPlan:
+    """Quiet stretches punctuated by short, very heavy bursts.
+
+    Gap and burst lengths are drawn from ``make_rng(spec.seed)`` so the
+    schedule is reproducible and cache-stable.  Intensity scales burst
+    duration (80–480 ms at intensity 1).
+    """
+    rng = make_rng(spec.seed)
+    bursts = []
+    t = int(rng.uniform(0.3, 1.0) * SEC)
+    while t < horizon_ns:
+        dur = int((80 + 400 * spec.intensity * rng.uniform(0.3, 1.0)) * MSEC)
+        bursts.append((t, dur))
+        t += dur + int(rng.uniform(0.8, 2.4) * SEC)
+    return BurstPlan(bursts=tuple(bursts), weight=4 * weight_for_nice(0))
+
+
+def adaptive_quota_plan(spec: AntagonistSpec,
+                        horizon_ns: int = 60 * SEC) -> QuotaPlan:
+    """A host controller retuning quota/period every few hundred ms.
+
+    Quota fraction wanders in [1 − 0.6·intensity, 1]; the period hops
+    between 5/10/20 ms, which also moves the vCPU-latency signal.  All
+    draws come from ``make_rng(spec.seed)``.
+    """
+    rng = make_rng(spec.seed)
+    periods = (5 * MSEC, 10 * MSEC, 20 * MSEC)
+    updates = []
+    t = int(rng.uniform(0.2, 0.8) * SEC)
+    while t < horizon_ns:
+        frac = 1.0 - spec.intensity * rng.uniform(0.0, 0.6)
+        period = periods[int(rng.uniform(0, len(periods))) % len(periods)]
+        updates.append((t, int(frac * period), period))
+        t += int(rng.uniform(0.5, 0.9) * SEC)
+    return QuotaPlan(updates=tuple(updates))
+
+
+def build_plan(spec: AntagonistSpec, horizon_ns: int = 60 * SEC):
+    """Dispatch to the class's plan builder with grid defaults."""
+    if spec.kind == "tick_evader":
+        return tick_evader_plan(spec)
+    if spec.kind == "probe_poisoner":
+        return probe_poisoner_plan(spec)
+    if spec.kind == "steal_flapper":
+        return steal_flapper_plan(spec)
+    if spec.kind == "burst_thief":
+        return burst_thief_plan(spec, horizon_ns)
+    return adaptive_quota_plan(spec, horizon_ns)

@@ -48,7 +48,7 @@ class TestRegistry:
         expected = {"fig2", "fig3", "fig4", "fig10a", "fig10b", "tab2",
                     "fig11", "fig12", "fig13", "fig14", "tab3", "fig15",
                     "tab4", "fig16", "fig17", "fig18", "fig19", "fig20",
-                    "fig21"}
+                    "fig21", "figA1"}
         assert set(EXPERIMENTS) == expected
         assert set(ALL_ORDER) == expected
 

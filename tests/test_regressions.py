@@ -165,3 +165,59 @@ def test_vcap_windows_do_not_phase_lock_corunners():
     env.engine.run_until(env.engine.now + 70 * MSEC)
     assert samples >= 80
     assert all_inactive < samples * 0.5
+
+
+def test_wake_affinity_domain_load_is_capacity_normalized():
+    """fig19 regression: once vtop installs real LLC domains *and* vcap
+    reports real per-vCPU capacities, raw task counts misrank domains —
+    wake affinity then crams communicating tasks onto a low-capacity
+    socket that merely *queues* fewer tasks.  Domain load must be the
+    capacity-normalized comparison of update_sg_lb_stats."""
+    from repro.guest.domains import DomainLevel, SchedDomains
+
+    env = build_plain_vm(8, sockets=2)
+    env.kernel.domains = SchedDomains(8, [
+        DomainLevel("llc", [range(0, 4), range(4, 8)]),
+        DomainLevel("machine", [range(8)]),
+    ])
+    env.kernel.capacity_provider = lambda c: 1024.0 if c < 4 else 256.0
+
+    def spin(api):
+        while True:
+            yield api.run(MSEC)
+
+    # Two tasks queued in the strong socket, one in the weak socket.
+    env.kernel.spawn(spin, "s0", cpu=0, allowed=(0,))
+    env.kernel.spawn(spin, "s1", cpu=1, allowed=(1,))
+    env.kernel.spawn(spin, "w0", cpu=4, allowed=(4,))
+    env.engine.run_until(10 * MSEC)
+    placer = env.kernel.placer
+    strong = env.kernel.domains.llc_domain(0)
+    weak = env.kernel.domains.llc_domain(4)
+    # Raw counts say the strong socket (2 tasks) is busier than the weak
+    # one (1 task); per unit of capacity it is the other way around.
+    assert placer._domain_load(weak) > placer._domain_load(strong)
+
+
+def test_wake_affinity_domain_load_reduces_to_counts_when_uniform():
+    """With uniform capacities the normalized load must equal the raw
+    task count — the CFS-baseline behaviour fig18/fig19 rely on."""
+    from repro.guest.domains import DomainLevel, SchedDomains
+
+    env = build_plain_vm(8, sockets=2)
+    env.kernel.domains = SchedDomains(8, [
+        DomainLevel("llc", [range(0, 4), range(4, 8)]),
+        DomainLevel("machine", [range(8)]),
+    ])
+
+    def spin(api):
+        while True:
+            yield api.run(MSEC)
+
+    env.kernel.spawn(spin, "s0", cpu=0, allowed=(0,))
+    env.kernel.spawn(spin, "s1", cpu=1, allowed=(1,))
+    env.engine.run_until(5 * MSEC)
+    placer = env.kernel.placer
+    strong = env.kernel.domains.llc_domain(0)
+    raw = sum(env.kernel.cpus[c].rq.nr_total() for c in strong)
+    assert placer._domain_load(strong) == pytest.approx(raw)

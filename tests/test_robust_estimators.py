@@ -1,0 +1,180 @@
+"""Unit tests for the prober hardening layer (repro.probers.robust).
+
+The estimators are exercised in isolation on synthetic poisoned streams:
+no simulation, just the arithmetic the hardened probers route their
+window samples through.
+"""
+
+import pytest
+
+from repro.core.abstraction import TopologyView
+from repro.probers.robust import (
+    HysteresisGate,
+    RobustScalarEstimator,
+    TopologyQuarantine,
+    _median,
+)
+from repro.sim import make_rng
+
+
+class TestMedianMad:
+    def test_median_odd_even(self):
+        assert _median([3.0, 1.0, 2.0]) == 2.0
+        assert _median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_clean_stream_passes_through(self):
+        est = RobustScalarEstimator(window=5)
+        out = [est.ingest(v) for v in [100.0, 102.0, 98.0, 101.0, 99.0]]
+        assert all(o is not None for o in out)
+        assert est.rejected_samples == 0
+        assert abs(out[-1] - 100.0) < 3.0
+
+    def test_single_spike_rejected_and_median_unmoved(self):
+        est = RobustScalarEstimator(window=5)
+        for v in [100.0, 101.0, 99.0, 100.0]:
+            est.ingest(v)
+        before = est.last_stable
+        out = est.ingest(400.0)  # poisoned window
+        assert est.rejected_samples == 1
+        assert out == before  # the spike moved nothing
+
+    def test_small_moves_on_constant_signal_not_rejected(self):
+        # rel_floor keeps the MAD scale from collapsing to ~0 on a
+        # near-constant stream.
+        est = RobustScalarEstimator(window=5)
+        for _ in range(5):
+            est.ingest(1000.0)
+        assert est.ingest(1010.0) is not None
+        assert est.rejected_samples == 0
+
+    def test_inconsistent_flag_overrides_mad(self):
+        est = RobustScalarEstimator(window=5)
+        est.ingest(100.0)
+        est.ingest(100.0, consistent=False)
+        assert est.rejected_samples == 1
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RobustScalarEstimator(window=2)
+
+
+class TestQuarantine:
+    def _poison(self, est, n):
+        for _ in range(n):
+            est.ingest(0.0, consistent=False)
+
+    def test_enter_on_low_confidence(self):
+        est = RobustScalarEstimator(window=5, min_confidence=0.5)
+        est.ingest(100.0)
+        self._poison(est, 3)
+        assert est.quarantined
+        assert est.quarantine_entries == 1
+        assert est.quarantined_windows > 0
+
+    def test_quarantined_returns_last_stable(self):
+        est = RobustScalarEstimator(window=5)
+        for v in [100.0, 101.0, 99.0]:
+            est.ingest(v)
+        stable = est.last_stable
+        self._poison(est, 4)
+        assert est.quarantined
+        assert est.ingest(500.0, consistent=False) == stable
+
+    def test_no_estimate_before_first_accept(self):
+        est = RobustScalarEstimator(window=5)
+        self._poison(est, 4)
+        assert est.quarantined
+        assert est.ingest(0.0, consistent=False) is None  # degrade upstream
+
+    def test_recovery_needs_consecutive_clean_windows(self):
+        est = RobustScalarEstimator(window=5, min_confidence=0.5,
+                                    recovery_windows=3)
+        for v in [100.0, 100.0, 100.0]:
+            est.ingest(v)
+        self._poison(est, 5)
+        assert est.quarantined
+        est.ingest(100.0)
+        est.ingest(100.0)
+        assert est.quarantined  # streak of 2 < 3
+        est.ingest(100.0)
+        assert not est.quarantined
+        # An interrupted streak resets.
+        self._poison(est, 5)
+        est.ingest(100.0)
+        est.ingest(0.0, consistent=False)
+        est.ingest(100.0)
+        est.ingest(100.0)
+        assert est.quarantined
+
+
+class TestHysteresis:
+    def test_flip_needs_n_consecutive(self):
+        gate = HysteresisGate(initial=False, n=2)
+        assert gate.update(True) is False  # first disagreement held
+        assert gate.suppressed_flips == 1
+        assert gate.update(True) is True   # second flips
+        assert gate.update(False) is True
+        assert gate.update(True) is True   # flap suppressed, streak reset
+        assert gate.update(False) is True
+        assert gate.update(False) is False
+
+    def test_agreement_resets_streak(self):
+        gate = HysteresisGate(initial=False, n=3)
+        gate.update(True)
+        gate.update(True)
+        gate.update(False)  # agreement: streak resets
+        gate.update(True)
+        gate.update(True)
+        assert gate.state is False
+
+
+class TestTopologyQuarantine:
+    def _view(self, pairs):
+        view = TopologyView(4)
+        for a, b in pairs:
+            view.smt_siblings[a] = frozenset((a, b))
+            view.smt_siblings[b] = frozenset((a, b))
+        return view
+
+    def test_first_and_unchanged_views_pass(self):
+        q = TopologyQuarantine()
+        v = self._view([(0, 1), (2, 3)])
+        assert q.admit(v)
+        assert q.admit(self._view([(0, 1), (2, 3)]))
+        assert q.quarantined_views == 0
+
+    def test_changed_view_needs_confirmation(self):
+        q = TopologyQuarantine(confirmations=2)
+        assert q.admit(self._view([(0, 1), (2, 3)]))
+        changed = [(0, 2), (1, 3)]
+        assert not q.admit(self._view(changed))  # one poisoned pass: held
+        assert q.quarantined_views == 1
+        assert q.admit(self._view(changed))      # confirmed: now published
+        assert q.admit(self._view(changed))
+
+    def test_flapping_views_never_admitted(self):
+        q = TopologyQuarantine(confirmations=2)
+        assert q.admit(self._view([(0, 1), (2, 3)]))
+        for _ in range(3):
+            assert not q.admit(self._view([(0, 2), (1, 3)]))
+            assert not q.admit(self._view([(0, 3), (1, 2)]))
+
+
+def test_determinism_under_make_rng():
+    """Identical seeded poisoned streams produce identical decisions."""
+
+    def run():
+        rng = make_rng("robust-test")
+        est = RobustScalarEstimator(window=5)
+        outs = []
+        for i in range(200):
+            clean = rng.uniform(95.0, 105.0)
+            if rng.uniform(0.0, 1.0) < 0.2:
+                outs.append(est.ingest(clean * 5.0,
+                                       consistent=bool(i % 3)))
+            else:
+                outs.append(est.ingest(clean))
+        return (outs, est.rejected_samples, est.quarantine_entries,
+                est.quarantined_windows)
+
+    assert run() == run()

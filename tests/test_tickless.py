@@ -297,12 +297,14 @@ def test_vcap_window_baselines_identical_with_elision(monkeypatch):
         log = []
 
         def spy(self, heavy, cpus, stop_flag, probers, steal_before,
-                preempt_before, spawn_time):
+                preempt_before, graze_before, grid_before, spawn_time):
             log.append((heavy, sorted(steal_before.items()),
                         sorted(preempt_before.items()),
+                        sorted(graze_before.items()),
                         sorted(spawn_time.items())))
             return orig(self, heavy, cpus, stop_flag, probers,
-                        steal_before, preempt_before, spawn_time)
+                        steal_before, preempt_before, graze_before,
+                        grid_before, spawn_time)
 
         monkeypatch.setattr(VCap, "_end_window", spy)
         env.engine.run_until(5 * SEC)

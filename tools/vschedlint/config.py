@@ -141,6 +141,7 @@ ELISION_FIELDS = frozenset({
     "_tick_due", "_seg_update", "last_tick_time",
     # vact kernel-side instrumentation, stamped by tick_accounting
     "last_heartbeat", "tick_steal_last", "preempt_count", "active_since_est",
+    "steal_graze_count",
     # default-CFS capacity estimate, decayed per tick
     "cfs_capacity", "steal_frac_avg", "_cap_touch",
     # Machine elided-timer state (hypervisor/machine.py)
