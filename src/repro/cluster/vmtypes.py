@@ -18,6 +18,7 @@ waits — the source of extended runqueue latency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.guest.config import GuestConfig
@@ -101,10 +102,12 @@ def _apply_class(machine: Machine, vcpu, klass: VCpuClass,
     thread = vcpu.pinned[0]
     weight, slice_ns = klass.competitor()
     machine.set_slice(thread, slice_ns)
+    # A partial over the bound method (not a lambda): snapshot forks
+    # rebind it to the copied machine if the stagger is still pending.
     machine.engine.call_at(
         machine.engine.now + stagger_ns,
-        lambda: machine.add_host_task(
-            f"tenant-{vcpu.name}", weight=weight, pinned=(thread,)))
+        partial(machine.add_host_task, f"tenant-{vcpu.name}",
+                weight=weight, pinned=(thread,)))
 
 
 def build_rcvm(engine: Optional[Engine] = None,

@@ -30,9 +30,17 @@ class VSchedModule:
     # Installation into the kernel
     # ------------------------------------------------------------------
     def install_capacity_provider(self) -> None:
-        """Replace the steal-based CFS capacity estimate with vcap's."""
-        self.kernel.capacity_provider = lambda i: self.store[i].capacity
+        """Replace the steal-based CFS capacity estimate with vcap's.
+
+        Installed as a bound method (not a lambda) so a snapshot fork
+        rebinds the hook to the copied module instead of aliasing the
+        frozen world's store.
+        """
+        self.kernel.capacity_provider = self._probed_capacity
         self._capacity_installed = True
+
+    def _probed_capacity(self, cpu_index: int) -> float:
+        return self.store[cpu_index].capacity
 
     def uninstall(self) -> None:
         self.kernel.capacity_provider = None

@@ -22,6 +22,7 @@ from typing import Dict, List
 
 from repro.cluster import attach_scheduler, build_plain_vm, make_context
 from repro.experiments.common import Table
+from repro.experiments.snapstore import PrefixSpec
 from repro.experiments.units import WorkUnit, execute_serial
 from repro.core.weights import weight_for_nice
 from repro.sim.engine import MSEC, SEC
@@ -31,74 +32,109 @@ PHASES = ("dedicated", "overcommitted", "asymmetric", "constrained")
 MODES = ("cfs", "vsched")
 
 
-def _run(mode: str, phase_ns: int, seed: str) -> Dict[str, float]:
+# ---------------------------------------------------------------------------
+# Host-condition transitions, applied synchronously at phase boundaries.
+# Module-level functions over the roots dict (not closures): the roots are
+# deep-copied together with the engine, so the stress handles they stash
+# always name tasks of *this* fork's machine.
+# ---------------------------------------------------------------------------
+def _to_overcommitted(roots: Dict) -> None:
+    env = roots["env"]
+    roots["stress"] = [env.machine.add_host_task(f"s{i}", pinned=(i,))
+                       for i in range(16)]
+
+
+def _to_asymmetric(roots: Dict) -> None:
+    # Half the vCPUs 2x the capacity of the rest, same total: fast
+    # vCPUs' competitors are demoted to one third of the weight.
+    env = roots["env"]
+    for task in roots["stress"]:
+        env.machine.remove_host_task(task)
+    for i in range(16):
+        if i < 8:
+            env.machine.add_host_task(f"a{i}", pinned=(i,),
+                                      weight=512)   # vCPU gets ~2/3
+        else:
+            env.machine.add_host_task(f"a{i}", pinned=(i,),
+                                      weight=2048)  # vCPU gets ~1/3
+
+
+def _to_constrained(roots: Dict) -> None:
+    # Stack vCPU1 onto vCPU0's thread; throttle vCPUs 2-3 to straggler
+    # capacity.
+    env = roots["env"]
+    env.machine.repin(env.vm.vcpu(1), (0,))
+    for i in (2, 3):
+        env.machine.add_host_task(f"hog{i}", pinned=(i,),
+                                  weight=weight_for_nice(-20))
+
+
+_TRANSITIONS = {"overcommitted": _to_overcommitted,
+                "asymmetric": _to_asymmetric,
+                "constrained": _to_constrained}
+
+
+def _phase_dedicated(mode: str, phase_ns: int) -> Dict:
+    """Root prefix: build, start Nginx, run the dedicated phase."""
     env = build_plain_vm(16, host_slice_ns=5 * MSEC)
     vs = attach_scheduler(env, mode)
-    ctx = make_context(env, vs, seed)
+    ctx = make_context(env, vs, f"fig16-{mode}")
     nginx = NginxServer(workers=8, service_ns=2 * MSEC, rate_per_sec=2600.0)
-
-    stress = []
-
-    def to_overcommitted() -> None:
-        for i in range(16):
-            stress.append(env.machine.add_host_task(f"s{i}", pinned=(i,)))
-
-    def to_asymmetric() -> None:
-        # Half the vCPUs 2x the capacity of the rest, same total: fast
-        # vCPUs' competitors are demoted to one third of the weight.
-        for i in range(8):
-            env.machine.remove_host_task(stress[i])
-        for i in range(8, 16):
-            env.machine.remove_host_task(stress[i])
-        for i in range(16):
-            if i < 8:
-                env.machine.add_host_task(f"a{i}", pinned=(i,),
-                                          weight=512)   # vCPU gets ~2/3
-            else:
-                env.machine.add_host_task(f"a{i}", pinned=(i,),
-                                          weight=2048)  # vCPU gets ~1/3
-    def to_constrained() -> None:
-        # Stack vCPU1 onto vCPU0's thread; throttle vCPUs 2-3 to straggler
-        # capacity.
-        env.machine.repin(env.vm.vcpu(1), (0,))
-        for i in (2, 3):
-            env.machine.add_host_task(f"hog{i}", pinned=(i,),
-                                      weight=weight_for_nice(-20))
-
-    env.engine.call_at(1 * phase_ns, to_overcommitted)
-    env.engine.call_at(2 * phase_ns, to_asymmetric)
-    env.engine.call_at(3 * phase_ns, to_constrained)
-
     nginx.start(ctx)
-    env.engine.run_until(4 * phase_ns)
-    nginx.stop()
-
-    # Mean throughput per phase, skipping the first 30% of each phase as
-    # transition/adaptation time.
-    result = {}
-    for i, phase in enumerate(PHASES):
-        t0 = i * phase_ns + (3 * phase_ns) // 10
-        t1 = (i + 1) * phase_ns
-        result[phase] = nginx.served_between(t0, t1) / ((t1 - t0) / SEC)
-    return result
+    env.engine.run_until(1 * phase_ns)
+    return {"engine": env.engine, "env": env, "nginx": nginx}
 
 
-def _scenario(mode: str, fast: bool) -> Dict[str, float]:
-    """Work-unit body: one full four-phase run under one scheduler."""
-    phase_ns = (15 if fast else 30) * SEC
-    return _run(mode, phase_ns, f"fig16-{mode}")
+def _enter_phase(roots: Dict, phase: str, end_multiple: int,
+                 phase_ns: int) -> Dict:
+    """Chained prefix: apply one transition, run to the phase's end."""
+    _TRANSITIONS[phase](roots)
+    roots["engine"].run_until(end_multiple * phase_ns)
+    return roots
+
+
+def _phase_rps(roots: Dict, phase_index: int, phase_ns: int) -> float:
+    """Work-unit body: mean requests/second of the phase just simulated.
+
+    Pure arithmetic over the server's completion log — the phase itself
+    was simulated by the prefix chain, so each deeper phase forks the
+    previous boundary instead of replaying the whole timeline (the cold
+    ``--no-snapshot`` path replays it, which is the A/B baseline).
+    Skips the first 30% of the phase as transition/adaptation time.
+    """
+    t0 = phase_index * phase_ns + (3 * phase_ns) // 10
+    t1 = (phase_index + 1) * phase_ns
+    return roots["nginx"].served_between(t0, t1) / ((t1 - t0) / SEC)
 
 
 def scenarios(fast: bool) -> List[WorkUnit]:
-    cost = 14.0 if fast else 28.0
-    return [WorkUnit(exp_id="fig16", label=mode, func=_scenario,
-                     config=(mode, fast), cost_hint=cost,
-                     seed=f"fig16-{mode}")
-            for mode in MODES]
+    phase_ns = (15 if fast else 30) * SEC
+    unit_cost = 3.5 if fast else 7.0
+    units = []
+    for mode in MODES:
+        chain = PrefixSpec(key=f"fig16-{mode}-dedicated",
+                           func=_phase_dedicated, config=(mode, phase_ns),
+                           seed=f"fig16-{mode}")
+        for k, phase in enumerate(PHASES):
+            if k > 0:
+                chain = PrefixSpec(key=f"fig16-{mode}-{phase}",
+                                   func=_enter_phase,
+                                   config=(phase, k + 1, phase_ns),
+                                   seed=f"fig16-{mode}", parent=chain)
+            # Cold cost grows with chain depth (a cold unit replays every
+            # phase up to its own), which also keeps timeouts honest.
+            units.append(WorkUnit(exp_id="fig16", label=f"{mode}-{phase}",
+                                  func=_phase_rps, config=(k, phase_ns),
+                                  cost_hint=unit_cost * (k + 1),
+                                  seed=f"fig16-{mode}", prefix=chain))
+    return units
 
 
-def assemble(fast: bool, results: List[Dict[str, float]]) -> Table:
-    cfs, vsched = results
+def assemble(fast: bool, results: List[float]) -> Table:
+    it = iter(results)
+    per_mode = {mode: {phase: next(it) for phase in PHASES}
+                for mode in MODES}
+    cfs, vsched = per_mode["cfs"], per_mode["vsched"]
     table = Table(
         exp_id="fig16",
         title="Nginx live throughput across host phases (requests/s)",
@@ -114,7 +150,7 @@ def assemble(fast: bool, results: List[Dict[str, float]]) -> Table:
 
 
 def run(fast: bool = False) -> Table:
-    return assemble(fast, execute_serial(scenarios(fast)))
+    return assemble(fast, execute_serial(scenarios(fast), fast))
 
 
 def check(table: Table) -> None:

@@ -21,7 +21,9 @@ from typing import List
 from repro.cluster import build_plain_vm, install_antagonist
 from repro.core.vsched import VSched, VSchedConfig
 from repro.experiments.common import Table
+from repro.experiments.snapstore import PrefixSpec
 from repro.experiments.units import WorkUnit, execute_serial
+from repro.guest.task import restartable_body
 from repro.metrics.degradation import DegradationReport, GroundTruthTracker
 from repro.sim.engine import MSEC, SEC
 from repro.workloads.antagonists import ANTAGONIST_KINDS, AntagonistSpec
@@ -38,25 +40,45 @@ def _intensities(fast: bool):
     return (DEFAULT_INTENSITY,) if fast else (0.33, 0.66, DEFAULT_INTENSITY)
 
 
-def _scenario(kind: str, intensity: float, config: str, fast: bool) -> dict:
-    """One (antagonist, prober-config) run; returns the report as a dict."""
-    warmup = (4 if fast else 8) * SEC
-    measure = (16 if fast else 40) * SEC
+@restartable_body
+def _spin(api):
+    """Saturating spinner: stateless infinite loop, restart-equivalent."""
+    while True:
+        yield api.run(1 * MSEC)
+
+
+def _prefix(config: str):
+    """Prefix builder: a saturated VM per prober config, frozen at t=0.
+
+    The divergence point is deliberately *before* the engine runs: the
+    antagonist must contend with the probers from the very first window
+    (the figure's claim is about estimation under attack, and the
+    hardened path's robust statistics behave differently when an attack
+    arrives against already-converged clean estimates).  The fork
+    therefore saves the world construction, not simulated time, and every
+    (kind, intensity) scenario on one side of the naive/hardened switch
+    shares one frozen build.  The scheduler seed names only the config;
+    the antagonist's own seed still carries (kind, intensity).
+    """
     env = build_plain_vm(4)
     cfg = VSchedConfig.enhanced().with_(
         enable_rwc=False,
         robust_probers=(config == "hardened"),
-        seed=f"figA1-{kind}-{intensity}-{config}")
+        seed=f"figA1-{config}")
     vs = VSched(env.kernel, cfg)
-
     # Saturate every vCPU so host run share *is* available capacity.
-    def spin(api):
-        while True:
-            yield api.run(1 * MSEC)
-
     for c in range(env.n_vcpus):
-        env.kernel.spawn(spin, name=f"sat{c}", group=vs.workload_group,
+        env.kernel.spawn(_spin, name=f"sat{c}", group=vs.workload_group,
                          cpu=c, allowed=(c,))
+    return {"engine": env.engine, "env": env, "vs": vs}
+
+
+def _scenario(roots: dict, kind: str, intensity: float, config: str,
+              fast: bool) -> dict:
+    """One (antagonist, prober-config) run; returns the report as a dict."""
+    warmup = (4 if fast else 8) * SEC
+    measure = (16 if fast else 40) * SEC
+    env, vs = roots["env"], roots["vs"]
     if kind != "none":
         install_antagonist(
             env, AntagonistSpec(kind=kind, intensity=intensity,
@@ -72,10 +94,15 @@ def _scenario(kind: str, intensity: float, config: str, fast: bool) -> dict:
 
 def scenarios(fast: bool) -> List[WorkUnit]:
     cost = 2.0 if fast else 12.0
+    prefixes = {config: PrefixSpec(key=f"figA1-{config}", func=_prefix,
+                                   config=(config,),
+                                   seed=f"figA1-{config}")
+                for config in CONFIGS}
     return [WorkUnit(exp_id="figA1", label=f"{kind}-{inten}-{config}",
                      func=_scenario, config=(kind, inten, config, fast),
                      cost_hint=cost,
-                     seed=f"figA1-{kind}-{inten}-{config}")
+                     seed=f"figA1-{kind}-{inten}-{config}",
+                     prefix=prefixes[config])
             for kind in KINDS
             for inten in _intensities(fast)
             for config in CONFIGS]
@@ -104,7 +131,7 @@ def assemble(fast: bool, results: List[dict]) -> Table:
 
 
 def run(fast: bool = False) -> Table:
-    return assemble(fast, execute_serial(scenarios(fast)))
+    return assemble(fast, execute_serial(scenarios(fast), fast))
 
 
 def check(table: Table) -> None:

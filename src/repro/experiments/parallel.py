@@ -131,6 +131,33 @@ def _pool_context():
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _execute_prefixed(func: Callable, config: tuple, prefix, fast: bool):
+    """Picklable wrapper running one prefixed unit via the snapshot store.
+
+    Module-level so :func:`run_scenarios` can ship prefixed units to pool
+    workers exactly like plain ones; each worker process warms its own
+    store on first use.
+    """
+    from repro.experiments.snapstore import execute_unit
+    return execute_unit(func, config, prefix, fast)
+
+
+def unit_body_config(units: Sequence["WorkUnit"], fast: bool
+                     ) -> Tuple[Callable, List[tuple]]:
+    """Normalize a same-``func`` run of units to a (func, configs) pair.
+
+    Units without a prefix pass through untouched (the exact PR 2 path);
+    prefixed units are rewritten to :func:`_execute_prefixed` calls so
+    every execution route — plain loop, pool, supervised campaign — goes
+    through the snapshot store with identical semantics.
+    """
+    first = units[0]
+    if first.prefix is None:
+        return first.func, [u.config for u in units]
+    return _execute_prefixed, [(u.func, u.config, u.prefix, fast)
+                               for u in units]
+
+
 def run_scenarios(func: Callable, configs: Sequence[tuple],
                   jobs: Optional[int] = None) -> List:
     """Run ``func(*config)`` for every config; return results in order.
@@ -444,6 +471,7 @@ def _run_units_serial(plans, fast: bool, check: bool, cache,
     :class:`TransientUnitError` is retried with the same deterministic
     backoff as the pooled path.
     """
+    from repro.experiments.snapstore import execute_unit, snapshot_counters
     from repro.experiments.supervisor import unit_tag
     from repro.sim.engine import Engine
     retry = retry or RetryPolicy()
@@ -456,11 +484,13 @@ def _run_units_serial(plans, fast: bool, check: bool, cache,
                 events0 = Engine.total_events_fired
                 elided0 = Engine.total_events_elided
                 counters0 = Engine.counters()
+                snap0 = snapshot_counters()
                 started = time.perf_counter()
                 st.error = st.tb = None
                 retryable = False
                 try:
-                    st.result = st.unit.func(*st.unit.config)
+                    st.result = execute_unit(st.unit.func, st.unit.config,
+                                             st.unit.prefix, fast)
                 except Exception as exc:  # noqa: BLE001 - same as pooled
                     st.error = f"{type(exc).__name__}: {exc}"
                     st.tb = traceback.format_exc()
@@ -471,6 +501,9 @@ def _run_units_serial(plans, fast: bool, check: bool, cache,
                 st.counters = {k: v - counters0[k]
                                for k, v in Engine.counters().items()
                                if k not in ("fired", "elided")}
+                st.counters.update(
+                    {k: round(v - snap0[k], 3)
+                     for k, v in snapshot_counters().items()})
                 st.attempts += 1
                 if st.error is None:
                     st.fate = "ok" if not fates else (

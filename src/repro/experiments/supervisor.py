@@ -188,7 +188,7 @@ def unit_tag(unit: WorkUnit) -> str:
 # Worker side
 # ----------------------------------------------------------------------
 def _worker_main(worker_id: int, task_r, result_w,
-                 chaos: Optional[ChaosPlan]) -> None:
+                 chaos: Optional[ChaosPlan], fast: bool = False) -> None:
     """Worker loop: serve one unit per parent assignment until None/EOF.
 
     Pins the in-worker jobs default to 1 (inherited module state could
@@ -197,9 +197,17 @@ def _worker_main(worker_id: int, task_r, result_w,
     body runs, seeded on ``(tag, attempt)``.  Both pipes are private to
     this worker: the parent is the only writer of ``task_r`` and the only
     reader of ``result_w``, so neither needs a lock.
+
+    Units carrying a snapshot prefix run through this worker's own
+    in-process :class:`~repro.experiments.snapstore.SnapshotStore` — the
+    first such unit builds and freezes the prefix world, later ones fork
+    it.  The store's counter deltas ride back inside the engine-counter
+    dict so the parent can aggregate hit/miss/saved-seconds per
+    experiment.
     """
     from repro.experiments.parallel import set_default_jobs
     set_default_jobs(1)
+    from repro.experiments.snapstore import execute_unit, snapshot_counters
     from repro.sim.engine import Engine
     while True:
         try:
@@ -208,10 +216,11 @@ def _worker_main(worker_id: int, task_r, result_w,
             break  # parent closed its end (teardown) or died
         if item is None:
             break
-        idx, attempt, tag, func, config = item
+        idx, attempt, tag, func, config, prefix = item
         events0 = Engine.total_events_fired
         elided0 = Engine.total_events_elided
         counters0 = Engine.counters()
+        snap0 = snapshot_counters()
         started = time.perf_counter()
         result: Any = None
         error = tb = None
@@ -219,21 +228,24 @@ def _worker_main(worker_id: int, task_r, result_w,
         try:
             if chaos is not None:
                 chaos.maybe_inject(tag, attempt)
-            result = func(*config)
+            result = execute_unit(func, config, prefix, fast)
             pickle.dumps(result)  # unpicklable? fail with a real traceback
         except BaseException as exc:  # noqa: BLE001 - reported to the parent
             result = None
             error = f"{type(exc).__name__}: {exc}"
             tb = traceback.format_exc()
             retryable = isinstance(exc, TransientUnitError)
+        counters = {k: v - counters0[k]
+                    for k, v in Engine.counters().items()
+                    if k not in ("fired", "elided")}
+        counters.update({k: round(v - snap0[k], 3)
+                         for k, v in snapshot_counters().items()})
         try:
             result_w.send((worker_id, idx, attempt, result, error, tb,
                            retryable, time.perf_counter() - started,
                            Engine.total_events_fired - events0,
                            Engine.total_events_elided - elided0,
-                           {k: v - counters0[k]
-                            for k, v in Engine.counters().items()
-                            if k not in ("fired", "elided")}))
+                           counters))
         except (BrokenPipeError, OSError):
             break  # parent is gone; nothing left to report to
 
@@ -297,7 +309,7 @@ def supervise(units: Sequence[WorkUnit], jobs: int, *, fast: bool = False,
         task_r, task_w = ctx.Pipe(duplex=False)
         result_r, result_w = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=_worker_main,
-                           args=(wid, task_r, result_w, chaos),
+                           args=(wid, task_r, result_w, chaos, fast),
                            daemon=False, name=f"vsched-unit-{wid}")
         proc.start()
         # Close the child's ends in the parent so a dead child shows as
@@ -349,7 +361,7 @@ def supervise(units: Sequence[WorkUnit], jobs: int, *, fast: bool = False,
                     try:
                         w.task_w.send((idx, attempts_made[idx],
                                        unit_tag(unit), unit.func,
-                                       unit.config))
+                                       unit.config, unit.prefix))
                     except (BrokenPipeError, OSError):
                         # Worker died between is_alive() and send(); the
                         # liveness sweep below reclaims the unit.

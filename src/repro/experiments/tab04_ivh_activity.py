@@ -22,8 +22,11 @@ def _elapsed(threads: int, activity_aware: bool, scale: float) -> int:
     vs = attach_scheduler(env, "vsched", overrides={
         "enable_bvs": False, "enable_rwc": False,
         "ivh_activity_aware": activity_aware})
-    ctx = make_context(env, vs,
-                       seed=f"tab4-{threads}-{activity_aware}")
+    # One seed per thread count, shared by both configs: the pair differs
+    # only in the migration protocol, not in the workload's random stream
+    # — at fast scale a per-config seed drowns the protocol effect in
+    # arrival noise (the old fast-mode shape flake).
+    ctx = make_context(env, vs, seed=f"tab4-{threads}")
     env.engine.run_until(env.engine.now + 6 * SEC)
     wl = _make("canneal", threads, scale)
     run_to_completion(env, [wl], ctx, timeout_ns=600 * SEC)

@@ -77,6 +77,12 @@ class WorkUnit:
     timeout_s: Optional[float] = None
     max_retries: Optional[int] = None
     retryable: bool = True
+    #: Shared scenario prefix (:class:`repro.experiments.snapstore.
+    #: PrefixSpec`).  When set, ``func`` is called as ``func(roots,
+    #: *config)`` on a fork of the prefix's frozen world (or on a cold
+    #: rebuild when snapshots are disabled), and the prefix chain joins
+    #: the cache key — the unit result depends on the prefix's identity.
+    prefix: Optional[object] = None
 
 
 def check_config_is_data(unit: WorkUnit) -> None:
@@ -98,6 +104,10 @@ def check_config_is_data(unit: WorkUnit) -> None:
             f"of type {type(v).__name__} is not plain data; its repr would "
             f"poison the cache key")
     walk(unit.config)
+    prefix = unit.prefix
+    while prefix is not None:
+        walk(prefix.config)
+        prefix = prefix.parent
 
 
 def supports_units(mod, exp_id: str) -> bool:
@@ -117,7 +127,7 @@ def get_assemble(mod, exp_id: str) -> Optional[Callable]:
         getattr(mod, "assemble", None)
 
 
-def execute_serial(units: Sequence[WorkUnit]) -> List:
+def execute_serial(units: Sequence[WorkUnit], fast: bool = False) -> List:
     """Run units in order, in-process, returning one result per unit.
 
     This is what the thin ``run(fast=)`` wrappers call.  Contiguous runs of
@@ -125,17 +135,24 @@ def execute_serial(units: Sequence[WorkUnit]) -> List:
     :func:`repro.experiments.parallel.run_scenarios`, so a process-wide
     ``--jobs`` default (PR 1 behaviour) still fans the sweep out for direct
     callers; with the default of one job this is exactly a plain loop.
+
+    Units carrying a prefix route through the snapshot store
+    (:func:`repro.experiments.snapstore.execute_unit`) — via a picklable
+    wrapper, so prefixed sweeps still fan out (each pool worker grows its
+    own store).  ``fast`` feeds the prefix store key; experiments that
+    declare prefixes pass their mode through.
     """
-    from repro.experiments.parallel import run_scenarios
+    from repro.experiments.parallel import run_scenarios, unit_body_config
 
     units = list(units)
     results: List = []
     i = 0
     while i < len(units):
         j = i
-        while j < len(units) and units[j].func is units[i].func:
+        while (j < len(units) and units[j].func is units[i].func
+               and (units[j].prefix is None) == (units[i].prefix is None)):
             j += 1
-        results.extend(run_scenarios(units[i].func,
-                                     [u.config for u in units[i:j]]))
+        func, configs = unit_body_config(units[i:j], fast)
+        results.extend(run_scenarios(func, configs))
         i = j
     return results

@@ -20,8 +20,11 @@ depends on the vCPU's execution rate (capacity) and activity.
 
 from __future__ import annotations
 
+import copy
 import enum
-from typing import Any, Generator, Iterable, Optional
+import inspect
+import types
+from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.guest.pelt import Pelt
 
@@ -142,6 +145,64 @@ class MigrateTo(Action):
 
 
 # ----------------------------------------------------------------------
+# Snapshot-forkable bodies
+# ----------------------------------------------------------------------
+class StatefulBody:
+    """Explicit state-machine replacement for a generator task body.
+
+    A generator cannot be deep-copied, so a task suspended inside one
+    cannot be snapshot-forked.  Subclasses hold all suspension state in
+    instance attributes and implement :meth:`send` — called exactly like
+    ``generator.send`` by the kernel's action interpreter — raising
+    ``StopIteration`` when the body is done.  Instances deep-copy
+    structurally through the snapshot memo, so a fork resumes from the
+    same suspension point with the same state.
+    """
+
+    def send(self, value):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        return self.send(None)
+
+
+#: Body factories whose tasks may be forked by *fresh restart*: calling
+#: the (copied) factory again yields a generator that, on its next send,
+#: produces exactly the action the suspended original would have.  Valid
+#: only for homogeneous loops whose cross-iteration state lives outside
+#: the generator (on the task / workload object) and is mutated *before*
+#: the yield — see docs/INTERNALS.md §15.
+_RESTARTABLE_BODIES: set = set()
+
+
+def restartable_body(factory: Callable) -> Callable:
+    """Register ``factory`` (a plain function or method) as restartable."""
+    _RESTARTABLE_BODIES.add(factory)
+    return factory
+
+
+def _factory_restartable(factory) -> bool:
+    return (factory in _RESTARTABLE_BODIES
+            or getattr(factory, "__func__", None) in _RESTARTABLE_BODIES)
+
+
+def _factory_copies_safely(factory) -> bool:
+    """True when deep-copying ``factory`` cannot alias the original world.
+
+    Bound methods rebind through the memo; plain module-level functions
+    without closure cells are stateless.  Closures copy atomically and
+    would keep cells pointing into the frozen world — unsafe.
+    """
+    if isinstance(factory, types.MethodType):
+        return True
+    return (isinstance(factory, types.FunctionType)
+            and not factory.__closure__)
+
+
+# ----------------------------------------------------------------------
 # Task
 # ----------------------------------------------------------------------
 class Task:
@@ -168,6 +229,12 @@ class Task:
         self.latency_sensitive = latency_sensitive
         self.state = TaskState.NEW
         self.api = TaskApi(kernel, self)
+        #: The body factory, kept for snapshot forking (restartable
+        #: bodies are recreated from it on deep copy).
+        self.factory = factory
+        #: Free-form per-task state for restartable bodies that need
+        #: cross-iteration storage outside the generator frame.
+        self.scratch: dict = {}
         self.body: Generator = factory(self.api)
 
         # --- scheduler state ------------------------------------------
@@ -220,6 +287,61 @@ class Task:
     def util(self, now: int) -> float:
         """Current PELT utilization (peek; no state mutation)."""
         return self.pelt.peek(now, self.state == TaskState.RUNNING)
+
+    # ------------------------------------------------------------------
+    # Snapshot forking
+    # ------------------------------------------------------------------
+    def __deepcopy__(self, memo):  # vschedlint: disable=identity-key -- deepcopy memo is keyed by id() per the copy protocol; it maps original to copy within one copy pass and never keys simulation state
+        """Deep-copy the task, handling the (uncopyable) generator body.
+
+        All scheduler state — pending_work, resume_value, vruntime, PELT,
+        spin state — copies structurally through the memo (the kernel,
+        cpu, and group back-refs land on their copies).  The body itself:
+
+        * exited tasks drop theirs (an exhausted generator is never
+          resumed again; ``advance_task`` is unreachable for EXITED);
+        * :class:`StatefulBody` instances copy structurally;
+        * generators from a registered :func:`restartable_body` factory
+          (or any never-started generator) are recreated by calling the
+          *copied* factory — valid by the restart-equivalence contract;
+        * anything else raises :class:`~repro.sim.snapshot.SnapshotError`
+          naming the task, so an unforkable world fails loudly.
+        """
+        new = object.__new__(type(self))
+        memo[id(self)] = new
+        for k, v in self.__dict__.items():
+            if k == "body":
+                continue
+            setattr(new, k, copy.deepcopy(v, memo))
+        new.body = self._copy_body(new, memo)
+        return new
+
+    def _copy_body(self, new: "Task", memo):
+        from repro.sim.snapshot import SnapshotError
+
+        body = self.body
+        if body is None or self.state == TaskState.EXITED:
+            return None
+        if not isinstance(body, types.GeneratorType):
+            return copy.deepcopy(body, memo)  # StatefulBody et al.
+        restartable = (_factory_restartable(self.factory)
+                       and self.resume_value is None)
+        never_started = (inspect.getgeneratorstate(body)
+                         == inspect.GEN_CREATED)
+        factory_name = getattr(self.factory, "__qualname__", self.factory)
+        if not (restartable or never_started):
+            raise SnapshotError(
+                f"task {self.name!r} is suspended inside a plain generator "
+                f"body ({factory_name!r}); convert it to a StatefulBody or "
+                f"register it with @restartable_body to make the world "
+                f"forkable")
+        if not _factory_copies_safely(self.factory):
+            raise SnapshotError(
+                f"task {self.name!r}: body factory {factory_name!r} is a "
+                f"closure — it would keep free variables of the original "
+                f"world; use a bound method or module-level function "
+                f"instead")
+        return new.factory(new.api)
 
     def __repr__(self) -> str:
         return f"<Task {self.tid} {self.name} {self.state.value}>"

@@ -24,15 +24,77 @@ tasks' own progress measurements.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.core.module import VSchedModule
 from repro.guest.cgroup import TaskGroup
 from repro.guest.kernel import GuestKernel
-from repro.guest.task import Policy, Task
+from repro.guest.task import Policy, StatefulBody, Task
 from repro.core.weights import weight_for_nice
 from repro.probers.robust import RobustScalarEstimator
 from repro.sim.engine import MSEC, SEC, USEC
+
+
+class _WindowState:
+    """Mutable per-window record shared by the staggered spawn events,
+    the prober bodies, and the close event.
+
+    An object rather than closure cells: the staggered spawns sit in the
+    event queue for the first ~10 ms of every window, so a snapshot taken
+    then must copy the window coherently — closure cells would alias the
+    frozen world from inside the fork.
+    """
+
+    def __init__(self, heavy: bool, cpus: List[int]):
+        self.heavy = heavy
+        self.cpus = cpus
+        self.stopped = False
+        self.probers: Dict[int, Task] = {}
+        self.steal_before: Dict[int, int] = {}
+        self.preempt_before: Dict[int, int] = {}
+        self.graze_before: Dict[int, int] = {}
+        self.grid_before: Dict[int, float] = {}
+        self.spawn_time: Dict[int, int] = {}
+
+
+class _ProberBody(StatefulBody):
+    """One prober task's busy loop as an explicit state machine.
+
+    The stop flag is polled at chunk boundaries only, so chunks double
+    while the loop keeps running (all measurements — steal deltas,
+    work/wall rates — are taken externally and are chunk-size
+    independent).  Chunks are clamped to the wall time left in the window
+    so the prober stops competing for CPU at the window close just as
+    un-coalesced base chunks would — the overshoot past the stop flag
+    stays bounded by one base chunk.
+    """
+
+    def __init__(self, api, *, win: "_WindowState", base: int, cap: int,
+                 window_ns: int):
+        self.api = api
+        self.win = win
+        self.base = base
+        self.cap = cap
+        self.window_ns = window_ns
+        self.end: Optional[int] = None
+        self.chunk = base
+
+    def send(self, value):
+        if self.end is None:
+            self.end = self.api.now() + self.window_ns
+        if self.win.stopped:
+            raise StopIteration
+        remaining = self.end - self.api.now()
+        if self.chunk <= remaining:
+            step = self.chunk
+        elif remaining > self.base:
+            step = remaining
+        else:
+            step = self.base
+        if self.chunk < self.cap:
+            self.chunk *= 2
+        return self.api.run(step)
 
 
 class VCap:
@@ -104,53 +166,43 @@ class VCap:
             return
         heavy = (self._count % self.heavy_every) == 0
         self._count += 1
-        cpus = self._probed_cpus()
-        stop_flag = [False]
-        probers: Dict[int, Task] = {}
-        steal_before: Dict[int, int] = {}
-        preempt_before: Dict[int, int] = {}
-        graze_before: Dict[int, int] = {}
-        grid_before: Dict[int, float] = {}
-        spawn_time: Dict[int, int] = {}
-
-        def spawn_one(c: int) -> None:
-            if stop_flag[0]:
-                return
-            cpu = self.kernel.cpus[c]
-            # Materialize elided ticks before baselining: preempt_count is
-            # tick-replayed state, and this callback fires mid-run where no
-            # engine sync hook has intervened.
-            cpu._catch_up()
-            steal_before[c] = self.kernel.steal_of(c)
-            preempt_before[c] = cpu.preempt_count
-            graze_before[c] = cpu.steal_graze_count
-            now_ns = self.kernel.now()
-            # Tick-grid steal average at window *start*: its ~32 ms
-            # half-life still reflects the un-probed span before the
-            # window, which a probe-window poisoner cannot fake.  Stale
-            # (idle CPU) baselines are marked unusable.
-            if self.robust is not None:
-                fresh = (now_ns - cpu._cap_touch) <= self.GRID_STALE_NS
-                grid_before[c] = (max(0.0, 1.0 - cpu.steal_frac_avg)
-                                  if fresh and cpu.current is not None
-                                  else -1.0)
-            spawn_time[c] = now_ns
-            policy = Policy.NORMAL if heavy else Policy.IDLE
-            weight = self.heavy_weight if heavy else None
-            probers[c] = self.kernel.spawn(
-                self._prober_body(stop_flag),
-                name=f"vcap{'H' if heavy else 'L'}-{c}",
-                policy=policy, weight=weight, group=self.group,
-                cpu=c, allowed=(c,))
-
-        for i, c in enumerate(cpus):
+        win = _WindowState(heavy, self._probed_cpus())
+        for i, c in enumerate(win.cpus):
             offset = (i % 8) * self.SPAWN_STAGGER_NS
-            self.kernel.engine.call_in(offset, spawn_one, c)
+            self.kernel.engine.call_in(offset, self._spawn_one, win, c)
         self._window_open = True
         self.kernel.engine.call_in(
-            self.sampling_period_ns, self._end_window,
-            heavy, cpus, stop_flag, probers, steal_before, preempt_before,
-            graze_before, grid_before, spawn_time)
+            self.sampling_period_ns, self._end_window, win)
+
+    def _spawn_one(self, win: _WindowState, c: int) -> None:
+        if win.stopped:
+            return
+        cpu = self.kernel.cpus[c]
+        # Materialize elided ticks before baselining: preempt_count is
+        # tick-replayed state, and this callback fires mid-run where no
+        # engine sync hook has intervened.
+        cpu._catch_up()
+        win.steal_before[c] = self.kernel.steal_of(c)
+        win.preempt_before[c] = cpu.preempt_count
+        win.graze_before[c] = cpu.steal_graze_count
+        now_ns = self.kernel.now()
+        # Tick-grid steal average at window *start*: its ~32 ms
+        # half-life still reflects the un-probed span before the
+        # window, which a probe-window poisoner cannot fake.  Stale
+        # (idle CPU) baselines are marked unusable.
+        if self.robust is not None:
+            fresh = (now_ns - cpu._cap_touch) <= self.GRID_STALE_NS
+            win.grid_before[c] = (max(0.0, 1.0 - cpu.steal_frac_avg)
+                                  if fresh and cpu.current is not None
+                                  else -1.0)
+        win.spawn_time[c] = now_ns
+        policy = Policy.NORMAL if win.heavy else Policy.IDLE
+        weight = self.heavy_weight if win.heavy else None
+        win.probers[c] = self.kernel.spawn(
+            self._prober_factory(win),
+            name=f"vcap{'H' if win.heavy else 'L'}-{c}",
+            policy=policy, weight=weight, group=self.group,
+            cpu=c, allowed=(c,))
 
     #: Growth cap for coalesced prober chunks (in base chunks).  1 keeps
     #: the seed's fixed base-chunk polling.  Raising it shrinks the prober
@@ -160,56 +212,28 @@ class VCap:
     #: by default and offered as an opt-in knob.
     CHUNK_COALESCE_MAX = 1
 
-    def _prober_body(self, stop_flag: List[bool]):
+    def _prober_factory(self, win: _WindowState):
         base = self.prober_chunk_ns
-        cap = base * self.CHUNK_COALESCE_MAX
-        window = self.sampling_period_ns
-
-        def body(api):
-            # The stop flag is polled at chunk boundaries only, so chunks
-            # double while the loop keeps running (all measurements — steal
-            # deltas, work/wall rates — are taken externally and are chunk-
-            # size independent).  Chunks are clamped to the wall time left
-            # in the window so the prober stops competing for CPU at the
-            # window close just as un-coalesced base chunks would — the
-            # overshoot past ``stop_flag`` stays bounded by one base chunk.
-            end = api.now() + window
-            chunk = base
-            while not stop_flag[0]:
-                remaining = end - api.now()
-                if chunk <= remaining:
-                    step = chunk
-                elif remaining > base:
-                    step = remaining
-                else:
-                    step = base
-                yield api.run(step)
-                if chunk < cap:
-                    chunk *= 2
-
-        return body
+        return partial(_ProberBody, win=win, base=base,
+                       cap=base * self.CHUNK_COALESCE_MAX,
+                       window_ns=self.sampling_period_ns)
 
     #: Tick-grid baselines older than this at window start are unusable
     #: (the CPU idled; steal is only observable while busy).
     GRID_STALE_NS = 5 * MSEC
 
-    def _end_window(self, heavy: bool, cpus: List[int], stop_flag: List[bool],
-                    probers: Dict[int, Task], steal_before: Dict[int, int],
-                    preempt_before: Dict[int, int],
-                    graze_before: Dict[int, int],
-                    grid_before: Dict[int, float],
-                    spawn_time: Dict[int, int]) -> None:
-        stop_flag[0] = True
+    def _end_window(self, win: _WindowState) -> None:
+        win.stopped = True
         self._window_open = False
         now = self.kernel.now()
         # Probers may still be mid-chunk; their work/wall stats are
         # integrated at (possibly elided) ticks, so replay those first.
         self.kernel.sync_ticks()
         activity_samples = []
-        for c in cpus:
-            if c not in probers:
+        for c in win.cpus:
+            if c not in win.probers:
                 continue  # spawn was still pending when the window closed
-            window = now - spawn_time[c]
+            window = now - win.spawn_time[c]
             if window <= 0:
                 # Pathological steal can stall the staggered spawn until
                 # the end event's instant: the window-rate divisions below
@@ -217,7 +241,7 @@ class VCap:
                 # and count instead.
                 self.degenerate_windows += 1
                 window = 1
-            steal_delta = self.kernel.steal_of(c) - steal_before[c]
+            steal_delta = self.kernel.steal_of(c) - win.steal_before[c]
             share = min(1.0, max(0.0, 1.0 - steal_delta / window))
             entry = self.module.store[c]
             #: Whether this window's share survived the tick-grid
@@ -225,13 +249,13 @@ class VCap:
             #: hardened estimator distrusts its half of the same window
             #: when vcap's half was poisoned.
             grid_ok = True
-            if heavy:
+            if win.heavy:
                 # Heavy windows exist to measure the hosting core's
                 # capacity via the prober's self-measured execution rate.
                 # The share observed meanwhile is inflated by the prober's
                 # own high priority, so it must not feed the vCPU capacity
                 # estimate — the light windows own that.
-                task = probers[c]
+                task = win.probers[c]
                 wall = task.stats.wall_running
                 if wall > 1000:  # enough signal to trust the rate
                     rate = task.stats.work_done / wall
@@ -243,13 +267,14 @@ class VCap:
                 self.module.publish_capacity(c, share * entry.core_capacity)
             else:
                 grid_ok = self._publish_robust(c, share, entry,
-                                               grid_before.get(c, -1.0))
-            preempts = self.kernel.cpus[c].preempt_count - preempt_before[c]
+                                               win.grid_before.get(c, -1.0))
+            preempts = (self.kernel.cpus[c].preempt_count
+                        - win.preempt_before[c])
             grazes = (self.kernel.cpus[c].steal_graze_count
-                      - graze_before.get(c, 0))
+                      - win.graze_before.get(c, 0))
             activity_samples.append((c, steal_delta, preempts, grazes,
                                      window, grid_ok))
-            self.prober_cpu_ns += probers[c].stats.wall_running
+            self.prober_cpu_ns += win.probers[c].stats.wall_running
         if self.vact is not None:
             self.vact.on_window(activity_samples)
         self.module.sampling_complete()

@@ -54,10 +54,11 @@ per event when off.
 
 from __future__ import annotations
 
+import copy
 import heapq
 import os
 from functools import partial
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 #: One microsecond / millisecond / second expressed in engine time units.
 USEC = 1_000
@@ -90,6 +91,19 @@ def elision_default() -> bool:
     site so tests can toggle it in-process.
     """
     return os.environ.get("VSCHED_REPRO_TICKLESS", "1") != "0"
+
+
+def snapshot_default() -> bool:
+    """Process-wide default for warm-start snapshot forking (on by default).
+
+    ``VSCHED_REPRO_SNAPSHOT=0`` disables the prefix snapshot store
+    (:mod:`repro.experiments.snapstore`): prefix/diverge scenarios then
+    rebuild their warm-up from scratch through the *same* code path, which
+    is what the A/B harness (``tools/abdiff.py``) flips to assert that
+    forked and cold runs produce byte-identical tables.  Read lazily at
+    each decision site so tests can toggle it in-process.
+    """
+    return os.environ.get("VSCHED_REPRO_SNAPSHOT", "1") != "0"
 
 
 def engine_backend_default() -> str:
@@ -181,6 +195,26 @@ class _HeapBackend:
         self._heap: List[Tuple[int, int, int, Event]] = []
         self._ncancelled = 0
         self.push = partial(heapq.heappush, self._heap)
+
+    def __deepcopy__(self, memo) -> "_HeapBackend":  # vschedlint: disable=identity-key -- deepcopy memo is keyed by id() per the copy protocol, never simulation state
+        # ``push`` is a partial closed over the heap list; copied naively it
+        # would keep pushing into the *original* heap.  Rebuild it against
+        # the copied list (registered in the memo first so entry tuples and
+        # engine back-refs resolve to the copy).
+        new = object.__new__(_HeapBackend)
+        memo[id(self)] = new
+        new._heap = copy.deepcopy(self._heap, memo)
+        new._ncancelled = self._ncancelled
+        new.push = partial(heapq.heappush, new._heap)
+        return new
+
+    def iter_entries(self) -> Iterator[Tuple[int, int, int, Event]]:
+        """Iterate all in-store entries (including cancelled), any order.
+
+        Inspection-only — used by the snapshot guard to vet pending
+        callbacks before a deep copy.  Never mutates the store.
+        """
+        return iter(self._heap)
 
     def pop_due(self, deadline: Optional[int]
                 ) -> Optional[Tuple[int, int, int, Event]]:
@@ -555,6 +589,70 @@ class Engine:
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued (O(1))."""
         return self._npending
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def materialize(self) -> None:
+        """Replay all deferred (elided) state by running the sync hooks.
+
+        Identical to what run()/run_until() do on completion; exposed so
+        the snapshot layer can assert a fully-materialized world before
+        freezing — a frozen half-materialized world would let a restore
+        skip ``_catch_up`` replay that the cold run performed.
+        """
+        for hook in self._sync_hooks:
+            hook()
+
+    def __deepcopy__(self, memo) -> "Engine":  # vschedlint: disable=identity-key -- deepcopy memo is keyed by id() per the copy protocol, never simulation state
+        """Deep-copy the engine, rewiring the backend push fast path.
+
+        ``_push`` aliases ``_backend.push`` (a partial/bound append over
+        the backend's internal list); a naive deep copy would leave the
+        copy pushing into the original's store.  Everything else — queue
+        contents, lanes, ``now``, pop-epoch/instant marks, per-instance
+        counters, sync hooks — copies structurally through the memo, so
+        event back-refs and callback bindings land on the copied world.
+        """
+        if self._running:
+            raise RuntimeError("cannot snapshot a running engine "
+                               "(snapshot between run()/run_until() calls)")
+        new = object.__new__(type(self))
+        memo[id(self)] = new
+        state = {k: v for k, v in self.__dict__.items() if k != "_push"}
+        new.__dict__.update(copy.deepcopy(state, memo))
+        new._push = new._backend.push
+        return new
+
+    def snapshot(self) -> "Engine":
+        """Freeze this engine (and everything reachable from its queue).
+
+        Returns an inert deep copy sharing nothing mutable with the live
+        engine.  Sync hooks run first so elided timer state is fully
+        materialized — the frozen world equals what a cold run observes
+        between runs.  Restore it with :meth:`restore` (in place) or fork
+        it any number of times with ``copy.deepcopy`` /
+        :class:`repro.sim.snapshot.WorldSnapshot`.
+        """
+        self.materialize()
+        return copy.deepcopy(self)
+
+    def restore(self, frozen: "Engine") -> None:  # vschedlint: disable=identity-key -- pre-seeding the deepcopy memo (id-keyed by protocol) is what rewires frozen-engine back-refs to self
+        """Replace this engine's state with a fork of ``frozen``.
+
+        The memo is pre-seeded with ``frozen -> self`` so engine
+        back-refs inside the copied events (and anything else reachable
+        that points at the frozen engine) rewire to *this* object —
+        callers holding a reference to this engine keep a valid handle.
+        ``frozen`` itself is never mutated and stays restorable.
+        """
+        if self._running or frozen._running:
+            raise RuntimeError("cannot restore a running engine")
+        memo: Dict[int, Any] = {id(frozen): self}
+        state = {k: v for k, v in frozen.__dict__.items() if k != "_push"}
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(state, memo))
+        self._push = self._backend.push
 
     # ------------------------------------------------------------------
     # Lazy-cancellation bookkeeping

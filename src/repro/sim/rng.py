@@ -21,6 +21,19 @@ def make_rng(seed) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def rng_signature(rng: np.random.Generator) -> str:
+    """Stable digest of a generator's exact stream position.
+
+    Two generators with equal signatures produce identical draw sequences
+    forever after.  The snapshot determinism tests compare a forked
+    world's streams against a cold run's; ``repr`` of the bit-generator
+    state dict is canonical enough because it contains only ints and
+    fixed-order numpy scalars.
+    """
+    state = rng.bit_generator.state
+    return hashlib.sha256(repr(state).encode("utf-8")).hexdigest()
+
+
 def split_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
     """Derive an independent child stream, stable for a given label."""
     salt = int.from_bytes(hashlib.sha256(label.encode("utf-8")).digest()[:8], "little")

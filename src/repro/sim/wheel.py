@@ -52,8 +52,9 @@ later than its slot's turn.
 
 from __future__ import annotations
 
+import copy
 from heapq import heappop, heappush
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.sim.engine import Engine
 
@@ -136,6 +137,33 @@ class WheelBackend:
     def note_cancelled(self) -> None:
         """Cancellation is free: the dead entry is dropped when its batch
         drains, its slot cascades, or it reaches the top of ``ready``."""
+
+    def __deepcopy__(self, memo) -> "WheelBackend":  # vschedlint: disable=identity-key -- deepcopy memo is keyed by id() per the copy protocol, never simulation state
+        # ``push`` is literally ``staging.append`` — a bound builtin that
+        # deep-copies *atomically*, so a naive copy would stage arms onto
+        # the original's list.  Copy every slot structurally through the
+        # memo, then rebind push to the copied staging list.
+        new = object.__new__(WheelBackend)
+        memo[id(self)] = new
+        for name in self.__slots__:
+            if name == "push":
+                continue
+            setattr(new, name, copy.deepcopy(getattr(self, name), memo))
+        new.push = new.staging.append
+        return new
+
+    def iter_entries(self) -> Iterator[_Entry]:
+        """Iterate all in-store entries (including cancelled), any order.
+
+        Inspection-only, for the snapshot guard: covers the staged batch,
+        the ready heap, every slot level, and the overflow list.
+        """
+        yield from self.staging
+        yield from self.ready
+        for level in self.slots:
+            for slot in level:
+                yield from slot
+        yield from self.overflow
 
     # ------------------------------------------------------------------
     # Placement

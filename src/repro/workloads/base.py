@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.guest.cgroup import TaskGroup
 from repro.guest.kernel import GuestKernel
-from repro.guest.task import Policy, Task
+from repro.guest.task import Policy, StatefulBody, Task
 from repro.sim.engine import MSEC, SEC, USEC
 
 
@@ -129,16 +129,25 @@ class Workload:
         self.tasks.append(task)
         return task
 
-    def _join_counter(self, parties: int):
-        """Returns (decrement_fn); marks the workload done at zero."""
-        remaining = [parties]
+    def _join_counter(self, parties: int) -> "JoinCounter":
+        """Returns a decrement callable; marks the workload done at zero."""
+        return JoinCounter(self, parties)
 
-        def decrement(_task=None) -> None:
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                self._mark_done()
 
-        return decrement
+class JoinCounter:
+    """Countdown latch marking its workload done when the last party
+    arrives.  An object rather than a closure so snapshot forks copy the
+    count and rebind to the forked workload instead of aliasing the
+    frozen one."""
+
+    def __init__(self, workload: Workload, parties: int):
+        self.workload = workload
+        self.remaining = parties
+
+    def __call__(self, _task=None) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.workload._mark_done()
 
 
 class BestEffortFiller(Workload):
@@ -155,18 +164,25 @@ class BestEffortFiller(Workload):
         self.ctx = ctx
         self.started_at = ctx.now()
         group = ctx.besteffort_group or ctx.group
-
-        def body(api):
-            # Endless best-effort spinning: nothing observes the chunk
-            # boundaries, so grow the chunk (bounded) to keep the filler's
-            # event footprint small.  Preemption by normal tasks is
-            # immediate on their wake-up regardless of chunk size.
-            chunk = 500 * USEC
-            while True:
-                yield api.run(chunk)
-                if chunk < 4 * MSEC:
-                    chunk *= 2
-
         for c in range(len(ctx.kernel.cpus)):
-            self._spawn(body, f"{self.name}-{c}", policy=Policy.IDLE,
+            self._spawn(_FillerBody, f"{self.name}-{c}", policy=Policy.IDLE,
                         group=group, cpu=c)
+
+
+class _FillerBody(StatefulBody):
+    """Endless best-effort spinning: nothing observes the chunk
+    boundaries, so grow the chunk (bounded) to keep the filler's event
+    footprint small.  Preemption by normal tasks is immediate on their
+    wake-up regardless of chunk size.  An explicit state machine (not a
+    generator) so snapshot forks carry the grown chunk instead of
+    restarting it at the minimum."""
+
+    def __init__(self, api):
+        self.api = api
+        self.chunk = 500 * USEC
+
+    def send(self, value):
+        action = self.api.run(self.chunk)
+        if self.chunk < 4 * MSEC:
+            self.chunk *= 2
+        return action

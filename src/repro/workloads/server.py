@@ -9,7 +9,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from functools import partial
+
 from repro.guest.sync import Channel
+from repro.guest.task import StatefulBody
 from repro.sim.engine import MSEC, SEC, USEC
 from repro.workloads.base import RequestRecord, Workload, WorkloadContext
 
@@ -42,22 +45,9 @@ class NginxServer(Workload):
         self.ctx = ctx
         self.started_at = ctx.now()
         self.channel = Channel(f"{self.name}-req", capacity=4096, lines=8)
-        wl = self
-
-        def worker(api):
-            while True:
-                req = yield api.recv(wl.channel)
-                if req is None:
-                    return
-                start = api.now()
-                yield api.run(wl.service_ns)
-                finish = api.now()
-                wl.completions.append(finish)
-                if wl.record_requests:
-                    wl.requests.append(RequestRecord(req, start, finish))
-
+        factory = partial(_NginxWorkerBody, workload=self)
         for i in range(self.workers):
-            self._spawn(worker, f"{self.name}-w{i}", latency_sensitive=True)
+            self._spawn(factory, f"{self.name}-w{i}", latency_sensitive=True)
         self._schedule_arrival()
         if self.duration_ns is not None:
             ctx.engine.call_in(self.duration_ns, self.stop)
@@ -101,3 +91,39 @@ class NginxServer(Workload):
 
     def served_between(self, t0: int, t1: int) -> int:
         return sum(1 for c in self.completions if t0 <= c < t1)
+
+
+class _NginxWorkerBody(StatefulBody):
+    """Event-loop worker as an explicit state machine.
+
+    The three phases (idle → waiting-for-request → serving) replace the
+    generator's suspension points, so a snapshot can park a worker
+    mid-service and a fork resumes it bit-identically.
+    """
+
+    def __init__(self, api, *, workload: "NginxServer"):
+        self.api = api
+        self.workload = workload
+        self.phase = "idle"
+        self.arrival = 0
+        self.service_start = 0
+
+    def send(self, value):
+        wl = self.workload
+        if self.phase == "serving":
+            finish = self.api.now()
+            wl.completions.append(finish)
+            if wl.record_requests:
+                wl.requests.append(
+                    RequestRecord(self.arrival, self.service_start, finish))
+            self.phase = "waiting"
+            return self.api.recv(wl.channel)
+        if self.phase == "waiting":
+            if value is None:
+                raise StopIteration
+            self.arrival = value
+            self.service_start = self.api.now()
+            self.phase = "serving"
+            return self.api.run(wl.service_ns)
+        self.phase = "waiting"
+        return self.api.recv(wl.channel)

@@ -8,10 +8,34 @@ experiments.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
+from repro.guest.task import StatefulBody
 from repro.sim.engine import MSEC, SEC, USEC
 from repro.workloads.base import Workload, WorkloadContext
+
+# The worker bodies here are explicit state machines (StatefulBody), not
+# generator closures: a closure's free variables deep-copy by reference
+# and a suspended generator cannot deep-copy at all, so neither survives
+# a world snapshot.  Each body keeps its cross-iteration state in
+# attributes, which the fork copies along with everything else.
+
+
+class _ChunkedWorkBody(StatefulBody):
+    """Retire ``total`` ns of compute in ``chunk``-sized steps."""
+
+    def __init__(self, api, *, total: int, chunk: int):
+        self.api = api
+        self.remaining = total
+        self.chunk = chunk
+
+    def send(self, value):
+        if self.remaining <= 0:
+            raise StopIteration
+        step = min(self.chunk, self.remaining)
+        self.remaining -= step
+        return self.api.run(step)
 
 
 class CpuBoundJob(Workload):
@@ -28,18 +52,10 @@ class CpuBoundJob(Workload):
         self.ctx = ctx
         self.started_at = ctx.now()
         join = self._join_counter(self.threads)
-        total = self.work_per_thread_ns
-        chunk = self.chunk_ns
-
-        def body(api):
-            remaining = total
-            while remaining > 0:
-                step = min(chunk, remaining)
-                yield api.run(step)
-                remaining -= step
-
+        factory = partial(_ChunkedWorkBody, total=self.work_per_thread_ns,
+                          chunk=self.chunk_ns)
         for i in range(self.threads):
-            t = self._spawn(body, f"{self.name}-{i}", initial_util=800)
+            t = self._spawn(factory, f"{self.name}-{i}", initial_util=800)
             self.ctx.kernel.on_exit(t, join)
 
 
@@ -57,28 +73,43 @@ class SysbenchCpu(Workload):
         self.threads = threads
         self.event_work_ns = event_work_ns
         self.duration_ns = duration_ns
+        self.deadline: Optional[int] = None
         self.events = 0
 
     def start(self, ctx: WorkloadContext) -> None:
         self.ctx = ctx
         self.started_at = ctx.now()
-        deadline = (None if self.duration_ns is None
-                    else ctx.now() + self.duration_ns)
+        self.deadline = (None if self.duration_ns is None
+                         else ctx.now() + self.duration_ns)
         join = self._join_counter(self.threads)
-        work = self.event_work_ns
-        wl = self
-
-        def body(api):
-            while deadline is None or api.now() < deadline:
-                yield api.run(work)
-                wl.events += 1
-
+        factory = partial(_SysbenchBody, workload=self)
         for i in range(self.threads):
-            t = self._spawn(body, f"{self.name}-{i}", initial_util=800)
+            t = self._spawn(factory, f"{self.name}-{i}", initial_util=800)
             self.ctx.kernel.on_exit(t, join)
 
     def events_per_sec(self, window_ns: int) -> float:
         return self.events / (window_ns / SEC)
+
+
+class _SysbenchBody(StatefulBody):
+    """One sysbench stressor thread.  ``issued`` tracks whether a work
+    chunk is outstanding so the event counter still increments on
+    *completion*, exactly like the original generator did on resume."""
+
+    def __init__(self, api, *, workload: "SysbenchCpu"):
+        self.api = api
+        self.workload = workload
+        self.issued = False
+
+    def send(self, value):
+        wl = self.workload
+        if self.issued:
+            wl.events += 1
+        deadline = wl.deadline
+        if deadline is not None and self.api.now() >= deadline:
+            raise StopIteration
+        self.issued = True
+        return self.api.run(wl.event_work_ns)
 
 
 class SelfMigratingJob(Workload):
@@ -94,24 +125,36 @@ class SelfMigratingJob(Workload):
     def start(self, ctx: WorkloadContext) -> None:
         self.ctx = ctx
         self.started_at = ctx.now()
-        n_cpus = len(ctx.kernel.cpus)
-        total = self.work_ns
-        every = self.migrate_every_ns
         join = self._join_counter(1)
-
-        def body(api):
-            remaining = total
-            target = 0
-            while remaining > 0:
-                step = min(every or MSEC, remaining)
-                yield api.run(step)
-                remaining -= step
-                if every is not None and remaining > 0:
-                    target = (api.cpu_index() + 1) % n_cpus
-                    yield api.migrate_to(target)
-
-        t = self._spawn(body, self.name, initial_util=900)
+        factory = partial(_SelfMigratingBody, total=self.work_ns,
+                          every=self.migrate_every_ns,
+                          n_cpus=len(ctx.kernel.cpus))
+        t = self._spawn(factory, self.name, initial_util=900)
         self.ctx.kernel.on_exit(t, join)
+
+
+class _SelfMigratingBody(StatefulBody):
+    """Run a chunk, then hop to the next vCPU, until the work is done."""
+
+    def __init__(self, api, *, total: int, every: Optional[int], n_cpus: int):
+        self.api = api
+        self.remaining = total
+        self.every = every
+        self.n_cpus = n_cpus
+        self.migrate_next = False
+
+    def send(self, value):
+        if self.migrate_next:
+            self.migrate_next = False
+            target = (self.api.cpu_index() + 1) % self.n_cpus
+            return self.api.migrate_to(target)
+        if self.remaining <= 0:
+            raise StopIteration
+        step = min(self.every or MSEC, self.remaining)
+        self.remaining -= step
+        if self.every is not None and self.remaining > 0:
+            self.migrate_next = True
+        return self.api.run(step)
 
 
 class Matmul(Workload):
@@ -129,15 +172,30 @@ class Matmul(Workload):
         self.ctx = ctx
         self.started_at = ctx.now()
         join = self._join_counter(self.threads)
-        per_thread = max(1, self.blocks // self.threads)
-        work = self.block_work_ns
-        wl = self
-
-        def body(api):
-            for _ in range(per_thread):
-                yield api.run(work)
-                wl.blocks_done += 1
-
+        factory = partial(_MatmulBody, workload=self,
+                          blocks=max(1, self.blocks // self.threads))
         for i in range(self.threads):
-            t = self._spawn(body, f"{self.name}-{i}", initial_util=900)
+            t = self._spawn(factory, f"{self.name}-{i}", initial_util=900)
             self.ctx.kernel.on_exit(t, join)
+
+
+class _MatmulBody(StatefulBody):
+    """Retire ``blocks`` uninterrupted blocks, counting each only once
+    its run completes (the ``issued`` flag mirrors the generator's
+    increment-on-resume ordering)."""
+
+    def __init__(self, api, *, workload: "Matmul", blocks: int):
+        self.api = api
+        self.workload = workload
+        self.blocks_left = blocks
+        self.issued = False
+
+    def send(self, value):
+        if self.issued:
+            self.workload.blocks_done += 1
+            self.issued = False
+        if self.blocks_left <= 0:
+            raise StopIteration
+        self.blocks_left -= 1
+        self.issued = True
+        return self.api.run(self.workload.block_work_ns)

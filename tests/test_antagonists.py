@@ -8,6 +8,7 @@ from repro.core.module import VSchedModule
 from repro.core.vsched import VSched, VSchedConfig
 from repro.metrics.degradation import DegradationReport, GroundTruthTracker
 from repro.probers import VAct, VCap
+from repro.probers.vcap import _WindowState
 from repro.sim import MSEC, SEC, USEC
 from repro.workloads.antagonists import (
     ANTAGONIST_KINDS,
@@ -138,9 +139,13 @@ class TestDegenerateWindowGuard:
         task = env.kernel.spawn(_spin, "t0", cpu=0, allowed=(0,))
         env.engine.run_until(MSEC)
         now = env.kernel.now()
-        vcap._end_window(False, [0], [False], {0: task},
-                         {0: env.kernel.steal_of(0)}, {0: 0}, {0: 0}, {},
-                         {0: now})  # spawn stalled to the end instant
+        win = _WindowState(heavy=False, cpus=[0])
+        win.probers = {0: task}
+        win.steal_before = {0: env.kernel.steal_of(0)}
+        win.preempt_before = {0: 0}
+        win.graze_before = {0: 0}
+        win.spawn_time = {0: now}  # spawn stalled to the end instant
+        vcap._end_window(win)
         assert vcap.degenerate_windows == 1
         assert module.store[0].capacity > 0  # finite, no inf/NaN
 

@@ -1,0 +1,316 @@
+"""Snapshot/fork determinism: a forked world resumes byte-identically.
+
+The warm-start contract (docs/INTERNALS.md §15) has three layers, each
+tested here against its cold-path twin:
+
+* engine layer — ``Engine.snapshot()/restore()`` replay the identical
+  event sequence, across both backends and with tickless elision on or
+  off (including the restore-then-``_catch_up`` case: elided guest ticks
+  materialize before the freeze, and elision resumes after the fork);
+* world layer — :class:`WorldSnapshot` freezes engine + roots in one
+  deep copy, the guard rejects copy-unsafe callbacks loudly, and every
+  fork is independent of its siblings and of the frozen image;
+* store layer — :class:`SnapshotStore` keys on
+  (code fingerprint, prefix chain, fast, backend, tickless), hits after
+  one miss, and ``execute_unit`` produces identical results with
+  snapshotting on and off.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.cluster import attach_scheduler, build_plain_vm, make_context
+from repro.experiments.snapstore import (
+    PrefixSpec,
+    SnapshotStore,
+    execute_unit,
+    prefix_store_key,
+    process_store,
+    reset_process_store,
+)
+from repro.sim.engine import MSEC, SEC, Engine
+from repro.sim.rng import make_rng, rng_signature
+from repro.sim.snapshot import SnapshotError, WorldSnapshot, guard_world
+from repro.workloads import SysbenchCpu
+
+FP = "f" * 64  # stand-in code fingerprint (key tests only)
+
+
+# ----------------------------------------------------------------------
+# A compact but fully real world: 4-vCPU VM, vsched, 2 stressor threads.
+# Two vCPUs stay idle so tickless runs actually elide guest ticks.
+# ----------------------------------------------------------------------
+def _world(seed: str = "snaptest", mode: str = "vsched",
+           event_work_ns: int = 500_000):
+    env = build_plain_vm(4)
+    env.machine.add_host_task("stress0", pinned=(0,))
+    vs = attach_scheduler(env, mode)
+    ctx = make_context(env, vs, seed=seed)
+    wl = SysbenchCpu(threads=2, event_work_ns=event_work_ns)
+    wl.start(ctx)
+    return {"engine": env.engine, "env": env, "vs": vs, "ctx": ctx,
+            "wl": wl}
+
+
+def _sig(roots):
+    """Everything a divergent fork could corrupt, in one tuple."""
+    env, wl, ctx = roots["env"], roots["wl"], roots["ctx"]
+    return (env.engine.now, env.engine.events_fired,
+            env.engine.events_elided, wl.events,
+            env.kernel.stats.migrations, rng_signature(ctx.rng))
+
+
+@pytest.mark.parametrize("backend", ["heap", "wheel"])
+@pytest.mark.parametrize("tickless", ["1", "0"])
+class TestForkMatchesColdRun:
+    def test_fork_resumes_byte_identically(self, backend, tickless,
+                                           monkeypatch):
+        monkeypatch.setenv("VSCHED_REPRO_ENGINE", backend)
+        monkeypatch.setenv("VSCHED_REPRO_TICKLESS", tickless)
+
+        cold = _world()
+        cold["engine"].run_until(2 * SEC)
+        want = _sig(cold)
+
+        warm = _world()
+        warm["engine"].run_until(1 * SEC)
+        snap = WorldSnapshot(warm["engine"], warm)
+        at_freeze = _sig(warm)
+
+        # Two sibling forks, both run to the cold horizon.
+        for _ in range(2):
+            _eng, fork = snap.fork()
+            fork["engine"].run_until(2 * SEC)
+            assert _sig(fork) == want
+        # The original world and the frozen image are untouched by the
+        # forks' divergence.
+        assert _sig(warm) == at_freeze
+
+
+@pytest.mark.parametrize("backend", ["heap", "wheel"])
+class TestForkResumesElision:
+    def test_elided_ticks_survive_freeze_and_fork(self, backend,
+                                                  monkeypatch):
+        # The restore-then-_catch_up case: freezing materializes every
+        # elided tick (WorldSnapshot calls engine.materialize()), and the
+        # fork keeps eliding from that baseline.  A long-chunk CFS world
+        # elides nearly every tick (vsched's 1 ms prober cadence would
+        # keep the tick horizon short), so the counters prove the span
+        # machinery really ran on both sides of the freeze.
+        monkeypatch.setenv("VSCHED_REPRO_ENGINE", backend)
+        monkeypatch.setenv("VSCHED_REPRO_TICKLESS", "1")
+
+        cold = _world(mode="cfs", event_work_ns=20 * MSEC)
+        cold["engine"].run_until(2 * SEC)
+        want = _sig(cold)
+
+        warm = _world(mode="cfs", event_work_ns=20 * MSEC)
+        warm["engine"].run_until(1 * SEC)
+        snap = WorldSnapshot(warm["engine"], warm)
+        at_freeze = _sig(warm)
+        assert want[2] > at_freeze[2] > 0  # elision on both sides
+
+        _eng, fork = snap.fork()
+        fork["engine"].run_until(2 * SEC)
+        assert _sig(fork) == want
+
+
+class TestEngineRestore:
+    def test_restore_replays_identical_event_sequence(self):
+        roots = _world()
+        eng = roots["engine"]
+        eng.run_until(1 * SEC)
+        frozen = eng.snapshot()
+        eng.run_until(2 * SEC)
+        first = (eng.now, eng.events_fired, eng.events_elided)
+
+        eng.restore(frozen)
+        assert (eng.now, eng.events_fired, eng.events_elided) != first
+        eng.run_until(2 * SEC)
+        assert (eng.now, eng.events_fired, eng.events_elided) == first
+
+    def test_snapshot_refused_while_running(self):
+        eng = Engine()
+        seen = []
+
+        def freeze_mid_run():
+            with pytest.raises(RuntimeError, match="running"):
+                eng.snapshot()
+            seen.append("tried")
+
+        eng.call_at(10, freeze_mid_run)
+        eng.run_until(20)
+        assert seen == ["tried"]
+
+
+class TestGuard:
+    def test_closure_callback_is_named(self):
+        eng = Engine()
+        leak = []
+        eng.call_at(1000, lambda: leak.append(1))
+        with pytest.raises(SnapshotError) as exc:
+            guard_world(eng)
+        assert "closure" in str(exc.value)
+        assert "t=1000" in str(exc.value)
+
+    def test_all_offenders_reported_at_once(self):
+        eng = Engine()
+        a, b = [], []
+        eng.call_at(1, lambda: a.append(1))
+        eng.call_at(2, lambda: b.append(1))
+        eng.call_at(3, b.append)  # bound builtin: shares the receiver
+        with pytest.raises(SnapshotError) as exc:
+            guard_world(eng)
+        msg = str(exc.value)
+        assert msg.count("closure") == 2
+        assert "bound builtin" in msg
+
+    def test_cancelled_offenders_are_ignored(self):
+        eng = Engine()
+        ev = eng.call_at(1, lambda: None)
+        ev.cancel()
+        guard_world(eng)  # does not raise
+
+    def test_real_world_is_guard_clean(self):
+        roots = _world()
+        roots["engine"].run_until(1 * SEC)
+        guard_world(roots["engine"])  # does not raise
+
+
+class TestRngFork:
+    def test_fork_copies_stream_then_diverges_identically(self):
+        rng = make_rng("snap-rng")
+        rng.normal()
+        sig = rng_signature(rng)
+        clone = copy.deepcopy(rng)
+        assert rng_signature(clone) == sig
+        assert clone.normal() == rng.normal()
+        assert rng_signature(clone) == rng_signature(rng) != sig
+
+
+# ----------------------------------------------------------------------
+# Store keying and accounting, on a synthetic (cheap) prefix.
+# ----------------------------------------------------------------------
+class _Ticker:
+    """Periodic bound-method event source — deep-copy safe by design."""
+
+    def __init__(self, engine: Engine, period: int):
+        self.engine = engine
+        self.period = period
+        self.count = 0
+        engine.call_in(period, self._tick)
+
+    def _tick(self):
+        self.count += 1
+        self.engine.call_in(self.period, self._tick)
+
+
+def _ticker_prefix(period: int):
+    eng = Engine()
+    ticker = _Ticker(eng, period)
+    eng.run_until(10 * period)
+    return {"engine": eng, "ticker": ticker}
+
+
+def _ticker_extend(roots, extra_periods: int):
+    eng = roots["engine"]
+    eng.run_until(eng.now + extra_periods * roots["ticker"].period)
+    return roots
+
+def _ticker_unit(roots, horizon: int):
+    roots["engine"].run_until(horizon)
+    return (roots["engine"].now, roots["ticker"].count)
+
+
+_SPEC = PrefixSpec(key="ticker", func=_ticker_prefix, config=(100,),
+                   seed="t-100")
+
+
+class TestStoreKey:
+    def test_chain_fast_and_fingerprint_isolate(self):
+        base = prefix_store_key(_SPEC, True, FP)
+        assert prefix_store_key(_SPEC, True, FP) == base
+        assert prefix_store_key(_SPEC, False, FP) != base
+        assert prefix_store_key(_SPEC, True, "a" * 64) != base
+        other = PrefixSpec(key="ticker", func=_ticker_prefix, config=(200,),
+                           seed="t-100")
+        assert prefix_store_key(other, True, FP) != base
+        chained = PrefixSpec(key="ext", func=_ticker_extend, config=(5,),
+                             parent=_SPEC)
+        assert prefix_store_key(chained, True, FP) != base
+
+    def test_engine_mode_knobs_isolate(self, monkeypatch):
+        # A frozen world bakes the backend and elision mode in at
+        # construction; an in-process env toggle must miss, not fork a
+        # world built under the other mode.
+        monkeypatch.delenv("VSCHED_REPRO_ENGINE", raising=False)
+        monkeypatch.delenv("VSCHED_REPRO_TICKLESS", raising=False)
+        base = prefix_store_key(_SPEC, True, FP)
+        monkeypatch.setenv("VSCHED_REPRO_ENGINE", "wheel")
+        assert prefix_store_key(_SPEC, True, FP) != base
+        monkeypatch.delenv("VSCHED_REPRO_ENGINE")
+        monkeypatch.setenv("VSCHED_REPRO_TICKLESS", "0")
+        assert prefix_store_key(_SPEC, True, FP) != base
+
+
+class TestSnapshotStore:
+    def test_miss_then_hit_accounting(self):
+        store = SnapshotStore()
+        store.fork(_SPEC, True, FP)
+        store.fork(_SPEC, True, FP)
+        assert (store.misses, store.hits, store.forks) == (1, 1, 2)
+        assert store.build_seconds > 0
+        assert store.saved_seconds > 0
+
+    def test_forks_are_independent(self):
+        store = SnapshotStore()
+        a = store.fork(_SPEC, True, FP)
+        b = store.fork(_SPEC, True, FP)
+        a["engine"].run_until(20_000)
+        assert b["ticker"].count == 10  # sibling unmoved by a's divergence
+        b["engine"].run_until(20_000)
+        assert a["ticker"].count == b["ticker"].count == 200
+
+    def test_chained_prefix_forks_parent_once(self):
+        store = SnapshotStore()
+        chained = PrefixSpec(key="ext", func=_ticker_extend, config=(5,),
+                             parent=_SPEC)
+        roots = store.fork(chained, True, FP)
+        assert roots["engine"].now == 1500
+        assert roots["ticker"].count == 15
+        # parent miss + chained miss; one fork to extend, one to hand out.
+        assert (store.misses, store.forks) == (2, 2)
+        store.fork(chained, True, FP)
+        assert (store.misses, store.hits, store.forks) == (2, 1, 3)
+
+
+class TestExecuteUnit:
+    @pytest.fixture(autouse=True)
+    def fresh_store(self):
+        reset_process_store()
+        yield
+        reset_process_store()
+
+    def test_prefixless_unit_is_plain_call(self):
+        assert execute_unit(int, ("7",), None, True) == 7
+
+    def test_on_and_off_paths_agree(self, monkeypatch):
+        monkeypatch.setenv("VSCHED_REPRO_SNAPSHOT", "1")
+        forked = [execute_unit(_ticker_unit, (h,), _SPEC, True)
+                  for h in (2_000, 3_000)]
+        on_store = process_store()
+        assert (on_store.hits, on_store.misses) == (1, 1)
+        assert on_store.cold_builds == 0
+
+        reset_process_store()
+        monkeypatch.setenv("VSCHED_REPRO_SNAPSHOT", "0")
+        cold = [execute_unit(_ticker_unit, (h,), _SPEC, True)
+                for h in (2_000, 3_000)]
+        off_store = process_store()
+        assert off_store.cold_builds == 2
+        assert (off_store.hits, off_store.misses, off_store.forks) == \
+            (0, 0, 0)
+        assert forked == cold == [(2_000, 20), (3_000, 30)]

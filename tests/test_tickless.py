@@ -296,15 +296,12 @@ def test_vcap_window_baselines_identical_with_elision(monkeypatch):
                                     "enable_rwc": False})
         log = []
 
-        def spy(self, heavy, cpus, stop_flag, probers, steal_before,
-                preempt_before, graze_before, grid_before, spawn_time):
-            log.append((heavy, sorted(steal_before.items()),
-                        sorted(preempt_before.items()),
-                        sorted(graze_before.items()),
-                        sorted(spawn_time.items())))
-            return orig(self, heavy, cpus, stop_flag, probers,
-                        steal_before, preempt_before, graze_before,
-                        grid_before, spawn_time)
+        def spy(self, win):
+            log.append((win.heavy, sorted(win.steal_before.items()),
+                        sorted(win.preempt_before.items()),
+                        sorted(win.graze_before.items()),
+                        sorted(win.spawn_time.items())))
+            return orig(self, win)
 
         monkeypatch.setattr(VCap, "_end_window", spy)
         env.engine.run_until(5 * SEC)

@@ -8,6 +8,13 @@ timed per scenario, so the report shows where the seconds go inside the
 heavy experiments; with ``--cache`` the report also counts unit cache
 hits/misses (a warm rerun of an unchanged tree is all hits).
 
+Each row (and the report header) also carries a ``snapshot`` block — the
+warm-start store's hit/miss/fork/cold-build counts and the prefix seconds
+saved by forking frozen worlds instead of replaying warm-ups
+(``docs/INTERNALS.md`` §15).  ``$VSCHED_REPRO_SNAPSHOT=0`` turns forking
+off, which is how the A/B win is measured: same command, flip the env
+var, compare ``total_wall_s``.
+
 With ``--jobs N`` (N > 1) the catalogue runs as one supervised campaign
 through the flat scheduler: per-scenario wall/events come from the worker
 measurements, scenario rows carry their retry ``attempts``, and the
@@ -59,17 +66,38 @@ from repro.experiments import parallel
 from repro.experiments.cache import ResultCache, code_fingerprint, unit_key
 from repro.experiments.cli import ALL_ORDER
 from repro.experiments.common import check_experiment, run_experiment
+from repro.experiments.snapstore import execute_unit, snapshot_counters
 from repro.experiments.supervisor import SupervisorStats
-from repro.sim.engine import Engine, engine_backend_default
+from repro.sim.engine import Engine, engine_backend_default, snapshot_default
 
 #: Counter keys copied into per-scenario/per-experiment "engine" dicts
 #: (fired/elided are already first-class report fields).
 _COUNTER_KEYS = ("pushes", "cancels", "dead_drops", "cascades")
 
+#: Snapshot-store keys (deltas ride the same counters channel as the
+#: engine's; see repro.experiments.snapstore.snapshot_counters).
+_SNAP_KEYS = ("snap_hits", "snap_misses", "snap_forks", "snap_cold_builds",
+              "snap_saved_s")
+
 
 def _counter_delta(before):
     after = Engine.counters()
     return {k: after[k] - before[k] for k in _COUNTER_KEYS}
+
+
+def _snap_delta(before):
+    after = snapshot_counters()
+    return {k: round(after[k] - before[k], 3) for k in _SNAP_KEYS}
+
+
+def _snap_block(source: dict) -> dict:
+    """Normalize snapshot counters for a report row (strip the prefix)."""
+    return {"hits": int(source.get("snap_hits", 0)),
+            "misses": int(source.get("snap_misses", 0)),
+            "forks": int(source.get("snap_forks", 0)),
+            "cold_builds": int(source.get("snap_cold_builds", 0)),
+            "prefix_saved_s": round(float(source.get("snap_saved_s", 0.0)),
+                                    3)}
 
 
 def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
@@ -78,6 +106,7 @@ def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
     events0 = Engine.total_events_fired
     elided0 = Engine.total_events_elided
     counters0 = Engine.counters()
+    snap_before = snapshot_counters()
     started = time.perf_counter()
     error = None
     scenarios = []
@@ -95,11 +124,13 @@ def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
             u_events0 = Engine.total_events_fired
             u_elided0 = Engine.total_events_elided
             u_counters0 = Engine.counters()
+            u_snap0 = snapshot_counters()
             if cached:
                 result = value
                 hits += 1
             else:
-                result = unit.func(*unit.config)
+                result = execute_unit(unit.func, unit.config, unit.prefix,
+                                      fast)
                 if key is not None:
                     cache.store(key, result)
                     misses += 1
@@ -110,6 +141,7 @@ def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
                 "events_fired": Engine.total_events_fired - u_events0,
                 "events_elided": Engine.total_events_elided - u_elided0,
                 "engine": _counter_delta(u_counters0),
+                "snapshot": _snap_block(_snap_delta(u_snap0)),
                 "cached": cached,
             })
         table = assemble(fast, results)
@@ -128,6 +160,7 @@ def bench_one(exp_id: str, fast: bool, check: bool, cache=None,
         "events_elided": elided,
         "events_per_sec": round(events / wall) if wall > 0 else 0,
         "engine": _counter_delta(counters0),
+        "snapshot": _snap_block(_snap_delta(snap_before)),
         "scenarios": scenarios,
         "error": error,
     }
@@ -161,6 +194,7 @@ def bench_campaign(ids, fast: bool, check: bool, jobs: int,
             "events_per_sec": round(res.events_fired / res.wall_s)
             if res.wall_s > 0 else 0,
             "engine": {k: res.counters.get(k, 0) for k in _COUNTER_KEYS},
+            "snapshot": _snap_block(res.counters),
             "scenarios": res.unit_stats,
             "error": error,
         }
@@ -319,6 +353,11 @@ def main(argv=None) -> int:
                         help="comma-separated engine backends; more than "
                              "one runs the catalogue once per backend "
                              "(default: $VSCHED_REPRO_ENGINE or heap)")
+    parser.add_argument("--snapshot-ab", action="store_true",
+                        help="after the primary run, rerun the ids with "
+                             "$VSCHED_REPRO_SNAPSHOT=0 and embed the "
+                             "per-experiment cold-vs-forked wall-time "
+                             "comparison in the report")
     parser.add_argument("--engine-micro", action="store_true",
                         help="benchmark the event-store backends (push / "
                              "push+cancel / pop at 1k/10k/100k pending); "
@@ -404,6 +443,16 @@ def main(argv=None) -> int:
         "total_events_elided": sum(r.get("events_elided", 0)
                                    for r in primary),
         "tickless": os.environ.get("VSCHED_REPRO_TICKLESS", "1") != "0",
+        "snapshot_forking": snapshot_default(),
+        "snapshot": {
+            "hits": sum(r["snapshot"]["hits"] for r in primary),
+            "misses": sum(r["snapshot"]["misses"] for r in primary),
+            "forks": sum(r["snapshot"]["forks"] for r in primary),
+            "cold_builds": sum(r["snapshot"]["cold_builds"]
+                               for r in primary),
+            "prefix_saved_s": round(sum(r["snapshot"]["prefix_saved_s"]
+                                        for r in primary), 3),
+        },
         "supervisor": supervisors[backends[0]],
         "experiments": primary,
     }
@@ -421,6 +470,45 @@ def main(argv=None) -> int:
             }
             for backend in backends[1:]
         }
+    if args.snapshot_ab:
+        saved_snap = os.environ.get("VSCHED_REPRO_SNAPSHOT")
+        os.environ["VSCHED_REPRO_SNAPSHOT"] = "0"
+        try:
+            if args.jobs > 1:
+                off_rows = bench_campaign(ids, fast=args.fast,
+                                          check=args.check,
+                                          jobs=args.jobs, cache=None)
+            else:
+                off_rows = [bench_one(exp_id, fast=args.fast,
+                                      check=args.check)
+                            for exp_id in ids]
+        finally:
+            if saved_snap is None:
+                os.environ.pop("VSCHED_REPRO_SNAPSHOT", None)
+            else:
+                os.environ["VSCHED_REPRO_SNAPSHOT"] = saved_snap
+        on_by_id = {r["exp_id"]: r for r in primary}
+        ab = {}
+        for off in off_rows:
+            on = on_by_id[off["exp_id"]]
+            ab[off["exp_id"]] = {
+                "forked_wall_s": on["wall_s"],
+                "cold_wall_s": off["wall_s"],
+                "speedup": round(off["wall_s"] / on["wall_s"], 2)
+                if on["wall_s"] > 0 else 0.0,
+            }
+        on_total = sum(r["wall_s"] for r in primary)
+        off_total = sum(r["wall_s"] for r in off_rows)
+        report["snapshot_ab"] = {
+            "forked_total_wall_s": round(on_total, 3),
+            "cold_total_wall_s": round(off_total, 3),
+            "speedup": round(off_total / on_total, 2)
+            if on_total > 0 else 0.0,
+            "experiments": ab,
+        }
+        print(f"snapshot A/B: forked {on_total:.1f}s vs cold "
+              f"{off_total:.1f}s -> x{report['snapshot_ab']['speedup']:.2f}",
+              flush=True)
     if micro_rows is not None:
         report["engine_micro"] = micro_rows
     if cache is not None:
@@ -433,9 +521,15 @@ def main(argv=None) -> int:
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
+    snap = report["snapshot"]
+    snap_note = (f", snapshots {snap['hits']}h/{snap['misses']}m "
+                 f"({snap['prefix_saved_s']:.1f}s prefix time saved)"
+                 if snap["hits"] or snap["misses"] or snap["cold_builds"]
+                 else "")
     print(f"wrote {out}: {report['total_wall_s']:.1f}s total, "
           f"{report['total_events_fired']:,d} events fired, "
           f"{report['total_events_elided']:,d} elided"
+          + snap_note
           + (f", cache {cache.hits}h/{cache.misses}m" if cache else ""))
     for backend, block in report.get("backend_runs", {}).items():
         print(f"  backend {backend}: {block['total_wall_s']:.1f}s total, "

@@ -14,6 +14,13 @@ entries are filed and popped, never *what* runs, so the wheel backend's
 fired budget must equal the heap's exactly.  A single baseline per
 experiment covers both backends for the same reason.
 
+One prefix-migrated experiment (``SNAP_PINNED``) is additionally
+measured with warm-start forking on *and* off (INTERNALS §15).  Both
+modes carry their own fired budget — the fork budget guards the prefix
+sharing itself (a regression here means units stopped forking and went
+back to rebuilding), and ``fork < cold`` is asserted outright since the
+whole point of forking is to not re-fire shared-prefix events.
+
 Usage::
 
     PYTHONPATH=src python tools/perf_guard.py          # check (CI)
@@ -43,14 +50,23 @@ BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 TOLERANCE_PCT = 10.0
 #: Pinned fast experiments: one host-churn-bound, one spin-bound.
 PINNED = ("fig2", "fig4")
+#: Prefix-migrated experiment measured under snapshot fork AND cold mode.
+#: fig14 shares 2 warm-up prefixes across 20 units, so cold mode re-fires
+#: each prefix 10x and the fork budget sits well below the cold one.
+#: Measured on the reference backend only — backend equality for the
+#: migrated experiments is the ab-identity shard's job.
+SNAP_PINNED = ("fig14",)
+SNAP_MODES = ("fork", "cold")
 #: Event-store backends: identical fired budgets required (exactly — the
 #: store never decides *what* runs).
 BACKENDS = ("heap", "wheel")
 
 
-def measure(exp_id: str, backend: str) -> dict:
+def measure(exp_id: str, backend: str, snapshot: bool = True) -> dict:
     saved = os.environ.get("VSCHED_REPRO_ENGINE")
+    saved_snap = os.environ.get("VSCHED_REPRO_SNAPSHOT")
     os.environ["VSCHED_REPRO_ENGINE"] = backend
+    os.environ["VSCHED_REPRO_SNAPSHOT"] = "1" if snapshot else "0"
     try:
         fired0 = Engine.total_events_fired
         elided0 = Engine.total_events_elided
@@ -58,10 +74,12 @@ def measure(exp_id: str, backend: str) -> dict:
         return {"events_fired": Engine.total_events_fired - fired0,
                 "events_elided": Engine.total_events_elided - elided0}
     finally:
-        if saved is None:
-            os.environ.pop("VSCHED_REPRO_ENGINE", None)
-        else:
-            os.environ["VSCHED_REPRO_ENGINE"] = saved
+        for var, val in (("VSCHED_REPRO_ENGINE", saved),
+                         ("VSCHED_REPRO_SNAPSHOT", saved_snap)):
+            if val is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = val
 
 
 def main(argv=None) -> int:
@@ -75,6 +93,10 @@ def main(argv=None) -> int:
     measured = {exp_id: {backend: measure(exp_id, backend)
                          for backend in BACKENDS}
                 for exp_id in PINNED}
+    snap_measured = {exp_id: {mode: measure(exp_id, BACKENDS[0],
+                                            snapshot=(mode == "fork"))
+                              for mode in SNAP_MODES}
+                     for exp_id in SNAP_PINNED}
 
     # Backend equality first: exact, no tolerance, applies to --write too
     # (a baseline written from divergent backends would be meaningless).
@@ -87,8 +109,18 @@ def main(argv=None) -> int:
                 print(f"{exp_id:8s} backend {backend!r} fired={fired:,d} "
                       f"!= {BACKENDS[0]!r} fired={ref:,d} (must be exact)")
                 failures.append(f"{exp_id}:{backend}")
+    # Structural snapshot invariant, independent of any baseline: forking
+    # must fire strictly fewer events than cold prefix rebuilds, or the
+    # units silently stopped sharing their warm-up.
+    for exp_id, per_mode in snap_measured.items():
+        fork = per_mode["fork"]["events_fired"]
+        cold = per_mode["cold"]["events_fired"]
+        if fork >= cold:
+            print(f"{exp_id:8s} fork fired={fork:,d} >= cold "
+                  f"fired={cold:,d} (prefix sharing is not engaging)")
+            failures.append(f"{exp_id}:fork>=cold")
     if failures:
-        print(f"backend fired budgets diverged: {failures}")
+        print(f"budget invariants violated: {failures}")
         return 1
 
     if args.write:
@@ -96,7 +128,8 @@ def main(argv=None) -> int:
                    "backends": list(BACKENDS),
                    "experiments": {exp_id: per_backend[BACKENDS[0]]
                                    for exp_id, per_backend in
-                                   measured.items()}}
+                                   measured.items()},
+                   "snapshot_experiments": snap_measured}
         with open(BASELINE_PATH, "w") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
@@ -106,21 +139,33 @@ def main(argv=None) -> int:
     with open(BASELINE_PATH) as fh:
         baseline = json.load(fh)
     tolerance = baseline.get("tolerance_pct", TOLERANCE_PCT)
+
+    def judge(exp_id: str, label: str, fired: int, base: int,
+              elided: int) -> None:
+        delta = 100.0 * (fired - base) / base
+        verdict = "ok"
+        if delta > tolerance:
+            verdict = f"REGRESSED (> +{tolerance:.0f}%)"
+            failures.append(f"{exp_id}:{label}")
+        elif delta < -tolerance:
+            verdict = "improved (consider --write)"
+        print(f"{exp_id:8s} {label:5s} fired={fired:>12,d} "
+              f"baseline={base:>12,d} {delta:+6.2f}%  "
+              f"elided={elided:>11,d} [{verdict}]")
+
     for exp_id, per_backend in measured.items():
         base = baseline["experiments"][exp_id]["events_fired"]
         for backend in BACKENDS:
             row = per_backend[backend]
-            fired = row["events_fired"]
-            delta = 100.0 * (fired - base) / base
-            verdict = "ok"
-            if delta > tolerance:
-                verdict = f"REGRESSED (> +{tolerance:.0f}%)"
-                failures.append(f"{exp_id}:{backend}")
-            elif delta < -tolerance:
-                verdict = "improved (consider --write)"
-            print(f"{exp_id:8s} {backend:5s} fired={fired:>12,d} "
-                  f"baseline={base:>12,d} {delta:+6.2f}%  "
-                  f"elided={row['events_elided']:>11,d} [{verdict}]")
+            judge(exp_id, backend, row["events_fired"], base,
+                  row["events_elided"])
+    for exp_id, per_mode in snap_measured.items():
+        for mode in SNAP_MODES:
+            row = per_mode[mode]
+            base = baseline["snapshot_experiments"][exp_id][mode][
+                "events_fired"]
+            judge(exp_id, mode, row["events_fired"], base,
+                  row["events_elided"])
     if failures:
         print(f"event budget regressed: {failures}")
         return 1

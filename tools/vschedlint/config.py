@@ -153,6 +153,10 @@ ELISION_SYNC_CALLS = frozenset({
     "_catch_up",            # per-CPU replay (GuestCpu)
     "sync_ticks",           # kernel-wide replay (GuestKernel, engine hook)
     "_note_host_waiting",   # host balance-grid re-arm (Machine)
+    "materialize",          # engine-wide replay via the registered sync
+                            # hooks — Engine.snapshot()/WorldSnapshot call
+                            # it before freezing, so state read after a
+                            # freeze point is fully materialized (§15)
 })
 
 #: Functions allowed to touch registered fields without syncing, because

@@ -11,9 +11,10 @@ dues in ``hypervisor/machine.py``.
 
 The rule: any function touching a field in ``config.ELISION_FIELDS`` must
 contain a sync call (``_catch_up`` / ``sync_ticks`` /
-``_note_host_waiting``) textually before the first touch, unless the
-function is registered elision machinery (``config.ELISION_EXEMPT``) or a
-constructor.  "Textually before" is a deliberate approximation — it keeps
+``_note_host_waiting`` / ``materialize`` — the last is the engine-wide
+replay the snapshot layer runs before freezing a world, INTERNALS §15)
+textually before the first touch, unless the function is registered
+elision machinery (``config.ELISION_EXEMPT``) or a constructor.  "Textually before" is a deliberate approximation — it keeps
 the rule read-able and has no false negatives on straight-line prologues,
 which is how every legitimate sync site in this tree is written.
 """
