@@ -25,6 +25,43 @@ from repro.sim.engine import Engine, MSEC, SEC
 from repro.sim.rng import make_rng
 
 
+def _apply_share(env, period: int, share: float) -> None:
+    """Apply one step of the capacity schedule to vCPU0 via bandwidth."""
+    if share >= 1.0:
+        env.machine.set_bandwidth(env.vm.vcpu(0), None)
+    else:
+        env.machine.set_bandwidth(env.vm.vcpu(0),
+                                  quota_ns=int(share * period),
+                                  period_ns=period)
+
+
+class _CapacityTracker:
+    """Samples actual vs probed capacity every 500 ms until ``end``.
+
+    Scheduled as a bound method so the pending callback stays deep-copyable
+    (guard_world): the tracker travels with the world on a snapshot fork
+    instead of aliasing the original through closure cells.
+    """
+
+    def __init__(self, env, vs, steps, end: int):
+        self.env = env
+        self.vs = vs
+        self.steps = steps
+        self.end = end
+        self.samples = []  # (time, actual, probed)
+
+    def tick(self) -> None:
+        now = self.env.engine.now
+        share = 1.0
+        for t, s in self.steps:
+            if now >= t:
+                share = s
+        self.samples.append((now, 1024.0 * share,
+                             self.vs.module.store[0].capacity))
+        if now < self.end:
+            self.env.engine.call_in(500 * MSEC, self.tick)
+
+
 def run_fig10a(fast: bool = False) -> Table:
     """EMA capacity vs the actual capacity schedule."""
     env = build_plain_vm(2)
@@ -38,33 +75,13 @@ def run_fig10a(fast: bool = False) -> Table:
 
     vs = attach_scheduler(env, "enhanced")
 
-    def apply(share: float) -> None:
-        if share >= 1.0:
-            env.machine.set_bandwidth(env.vm.vcpu(0), None)
-        else:
-            env.machine.set_bandwidth(env.vm.vcpu(0),
-                                      quota_ns=int(share * period),
-                                      period_ns=period)
-
     for t, share in steps:
-        env.engine.call_at(t, apply, share)
+        env.engine.call_at(t, _apply_share, env, period, share)
 
-    samples = []  # (time, actual, probed)
-    current_share = [1.0]
-
-    def track_actual() -> None:
-        now = env.engine.now
-        share = 1.0
-        for t, s in steps:
-            if now >= t:
-                share = s
-        samples.append((now, 1024.0 * share,
-                        vs.module.store[0].capacity))
-        if now < end:
-            env.engine.call_in(500 * MSEC, track_actual)
-
-    env.engine.call_in(500 * MSEC, track_actual)
+    tracker = _CapacityTracker(env, vs, steps, end)
+    env.engine.call_in(500 * MSEC, tracker.tick)
     env.engine.run_until(end)
+    samples = tracker.samples
 
     table = Table(
         exp_id="fig10a",

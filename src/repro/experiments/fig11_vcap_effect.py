@@ -73,35 +73,47 @@ def _prefix(scenario: str, config: str):
     return {"engine": env.engine, "env": env, "wl": wl}
 
 
+class _ResidencySampler:
+    """Counts fast-core (index >= 12) residency of running tasks.
+
+    A bound method rather than a closure so the pending callback stays
+    deep-copyable (guard_world) if this scenario's prefix chain is ever
+    extended past the measurement start.
+    """
+
+    def __init__(self, env, wl, stop: int, step: int):
+        self.env = env
+        self.wl = wl
+        self.stop = stop
+        self.step = step
+        self.fast_time = 0
+        self.samples = 0
+
+    def tick(self) -> None:
+        for t in self.wl.tasks:
+            if t.state == TaskState.RUNNING and t.cpu is not None:
+                self.samples += 1
+                if t.cpu.index >= 12:
+                    self.fast_time += 1
+        if self.env.engine.now < self.stop:
+            self.env.engine.call_in(self.step, self.tick)
+
+
 def _scenario(roots: dict, fast: bool) -> Tuple:
     """Work-unit body: measure placement/throughput from the warm world."""
     env, wl = roots["env"], roots["wl"]
     duration_ns = (10 if fast else 40) * SEC
     events0 = wl.events
     migr0 = env.kernel.stats.migrations
-    fast_time = 0
-    samples = 0
 
-    # Sample where the threads execute.  The closure is created after the
-    # fork, so it is never a pending callback at snapshot time.
+    # Sample where the threads execute.
     stop = env.engine.now + duration_ns
-    sample_step = 10 * MSEC
-
-    def sample():
-        nonlocal fast_time, samples
-        for t in wl.tasks:
-            if t.state == TaskState.RUNNING and t.cpu is not None:
-                samples += 1
-                if t.cpu.index >= 12:
-                    fast_time += 1
-        if env.engine.now < stop:
-            env.engine.call_in(sample_step, sample)
-
-    env.engine.call_in(sample_step, sample)
+    sampler = _ResidencySampler(env, wl, stop, step=10 * MSEC)
+    env.engine.call_in(sampler.step, sampler.tick)
     env.engine.run_until(stop)
     events = wl.events - events0
     migrations = env.kernel.stats.migrations - migr0
-    residency = 100.0 * fast_time / max(1, samples)
+    residency = 100.0 * sampler.fast_time / max(1, sampler.samples)
     return events, migrations, residency
 
 

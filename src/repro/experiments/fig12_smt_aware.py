@@ -45,6 +45,25 @@ def _active_cores(env, tasks) -> int:
     return len(cores)
 
 
+class _CoreCountSampler:
+    """Samples the active physical-core count every 20 ms until ``stop``.
+
+    Bound-method callback: stays deep-copyable (guard_world) should this
+    scenario gain a warm-start prefix that freezes mid-measurement.
+    """
+
+    def __init__(self, env, wl, stop: int):
+        self.env = env
+        self.wl = wl
+        self.stop = stop
+        self.counts = []
+
+    def tick(self) -> None:
+        self.counts.append(_active_cores(self.env, self.wl.tasks))
+        if self.env.engine.now < self.stop:
+            self.env.engine.call_in(20 * MSEC, self.tick)
+
+
 def _run_underloaded(vtop: bool, duration_ns: int) -> float:
     env = _build()
     vs = _attach(env, vtop)
@@ -52,17 +71,12 @@ def _run_underloaded(vtop: bool, duration_ns: int) -> float:
     env.engine.run_until(env.engine.now + 6 * SEC)  # vtop warm-up
     wl = SysbenchCpu(threads=16)
     wl.start(ctx)
-    counts = []
     stop = env.engine.now + duration_ns
 
-    def sample():
-        counts.append(_active_cores(env, wl.tasks))
-        if env.engine.now < stop:
-            env.engine.call_in(20 * MSEC, sample)
-
-    env.engine.call_in(20 * MSEC, sample)
+    sampler = _CoreCountSampler(env, wl, stop)
+    env.engine.call_in(20 * MSEC, sampler.tick)
     env.engine.run_until(stop)
-    return sum(counts) / len(counts)
+    return sum(sampler.counts) / len(sampler.counts)
 
 
 def _run_mixed(vtop: bool, companion: str, fast: bool,

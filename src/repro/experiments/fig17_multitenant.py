@@ -67,6 +67,45 @@ def _progress(kernel: GuestKernel) -> float:
     return sum(t.stats.work_done for t in kernel.tasks)
 
 
+class _TenantChurn:
+    """The three neighbor-churn phases, scheduled as bound methods.
+
+    Bound methods of an ordinary object are deep-copyable, so the pending
+    phase events stay snapshot-safe (guard_world) — closures over
+    ``neighbors``/``results`` would alias the original world on a
+    warm-start fork.
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.neighbors: List = []
+        self.results: Dict[str, float] = {}
+
+    def phase1(self) -> None:
+        self.neighbors.append(_colocated_vm(self.machine, "vmA",
+                                            "facesim", "fA"))
+        self.neighbors.append(_colocated_vm(self.machine, "vmB",
+                                            "ferret", "fB"))
+
+    def phase2(self) -> None:
+        for vm, kern in self.neighbors[:2]:
+            self.results[f"{vm.name}_work"] = _progress(kern)
+            vm.shutdown()
+        self.neighbors.append(_colocated_vm(self.machine, "vmC",
+                                            "swaptions", "fC"))
+        self.neighbors.append(_colocated_vm(self.machine, "vmD",
+                                            "raytrace", "fD"))
+
+    def phase3(self) -> None:
+        for vm, kern in self.neighbors[2:4]:
+            self.results[f"{vm.name}_work"] = _progress(kern)
+            vm.shutdown()
+        for i, bench in enumerate(("img-dnn", "masstree", "silo",
+                                   "specjbb")):
+            self.neighbors.append(_colocated_vm(self.machine, f"vmL{i}",
+                                                bench, f"fL{i}"))
+
+
 def _run(mode: str, phase_ns: int) -> Dict[str, float]:
     engine = Engine()
     machine = Machine(engine, HostTopology(1, 16, smt=1),
@@ -79,32 +118,13 @@ def _run(mode: str, phase_ns: int) -> Dict[str, float]:
     nginx = NginxServer(workers=12, service_ns=2 * MSEC, rate_per_sec=4200.0)
     nginx.start(ctx)
 
-    results: Dict[str, float] = {}
-    neighbors: List = []
-
-    def phase1() -> None:
-        neighbors.append(_colocated_vm(machine, "vmA", "facesim", "fA"))
-        neighbors.append(_colocated_vm(machine, "vmB", "ferret", "fB"))
-
-    def phase2() -> None:
-        for vm, kern in neighbors[:2]:
-            results[f"{vm.name}_work"] = _progress(kern)
-            vm.shutdown()
-        neighbors.append(_colocated_vm(machine, "vmC", "swaptions", "fC"))
-        neighbors.append(_colocated_vm(machine, "vmD", "raytrace", "fD"))
-
-    def phase3() -> None:
-        for vm, kern in neighbors[2:4]:
-            results[f"{vm.name}_work"] = _progress(kern)
-            vm.shutdown()
-        for i, bench in enumerate(("img-dnn", "masstree", "silo", "specjbb")):
-            neighbors.append(_colocated_vm(machine, f"vmL{i}", bench, f"fL{i}"))
-
-    engine.call_at(0 + 1, phase1)
-    engine.call_at(1 * phase_ns, phase2)
-    engine.call_at(2 * phase_ns, phase3)
+    churn = _TenantChurn(machine)
+    engine.call_at(0 + 1, churn.phase1)
+    engine.call_at(1 * phase_ns, churn.phase2)
+    engine.call_at(2 * phase_ns, churn.phase3)
     engine.run_until(3 * phase_ns)
-    for vm, kern in neighbors[4:]:
+    results = churn.results  # keyed in phase order, as the phases ran
+    for vm, kern in churn.neighbors[4:]:
         results[f"{vm.name}_work"] = _progress(kern)
     nginx.stop()
 

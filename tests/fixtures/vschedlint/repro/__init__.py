@@ -1,0 +1,7 @@
+"""Package-root marker for *full-scan* fixture lints.
+
+Linting this file alongside a fixture puts ``repro`` itself in the
+project index, which is how the linter decides the whole package was
+scanned — arming the repro-tree branch of the fingerprint-gap rule
+(partial scans would see every sibling import as a false gap).
+"""

@@ -1,0 +1,42 @@
+"""Hidden result inputs and fingerprint gaps in a work-unit body.
+
+Expected on a standalone lint: fingerprint-gap x1 (scipy is neither
+stdlib nor pinned), hidden-env-input x2 (module-level read plus one in
+the unit-reachable body), hidden-file-input x2 (``open()`` in the body,
+``.read_text()`` in a helper the body calls).  The orchestration-only
+``_worker_count`` read stays quiet: it is not reachable from any work
+unit.  Linted together with the ``repro/__init__.py`` fixture (a full
+scan) the unresolvable ``repro.experiments.missing_tables`` import adds
+one more fingerprint-gap.
+"""
+
+import os
+import scipy.optimize
+from pathlib import Path
+
+from repro.experiments.missing_tables import LUT
+
+_DEBUG = os.environ.get("REPRO_DEBUG", "")
+
+
+def _load_lut(name):
+    return Path(name).read_text()
+
+
+def _scenario(mode, fast):
+    scale = float(os.getenv("REPRO_SCALE", "1.0"))
+    with open("tables/latency.csv") as fh:
+        rows = fh.read()
+    return {"mode": mode, "scale": scale, "rows": len(rows),
+            "lut": _load_lut("tables/lut.bin")}
+
+
+def scenarios(fast):
+    return [WorkUnit(exp_id="figX", label=mode, func=_scenario,
+                     config=(mode, fast), seed=f"figX-{mode}")
+            for mode in ("cfs", "vsched")]
+
+
+def _worker_count():
+    # Host-side concurrency knob: never feeds a result value.
+    return int(os.getenv("REPRO_JOBS", "4"))

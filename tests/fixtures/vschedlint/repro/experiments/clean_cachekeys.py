@@ -1,0 +1,23 @@
+"""Cache-key-sound experiment module: zero findings expected.
+
+Every input of the unit body flows through ``(config, seed)``; the only
+environment read sits in CLI orchestration no work unit can reach, which
+the experiments-layer scoping deliberately leaves alone.
+"""
+
+import os
+
+
+def _scenario(mode, fast):
+    scale = 0.2 if fast else 1.0
+    return {"mode": mode, "scale": scale}
+
+
+def scenarios(fast):
+    return [WorkUnit(exp_id="figY", label=mode, func=_scenario,
+                     config=(mode, fast), seed=f"figY-{mode}")
+            for mode in ("cfs", "vsched")]
+
+
+def _worker_count():
+    return int(os.getenv("REPRO_JOBS", "4"))

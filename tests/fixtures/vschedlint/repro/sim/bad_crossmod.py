@@ -1,0 +1,14 @@
+"""Registers an *imported* callable with a mutable default argument.
+
+Expected, when linted together with ``helper_defaults.py``:
+snapshot-mutable-default x1 — the project index resolves ``drain``
+through the import and sees its default.  Linted alone the import cannot
+be resolved and the linter stays quiet: the call graph under-approximates
+rather than guesses.
+"""
+
+from repro.sim.helper_defaults import drain
+
+
+def wire(engine):
+    engine.call_at(1000, drain)

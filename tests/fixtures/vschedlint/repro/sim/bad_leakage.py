@@ -1,0 +1,35 @@
+"""Process-level state written at simulation time.
+
+Expected findings: cross-unit-state x3 (module-dict store, module-list
+append, global rebind), class-attr-state x2 (write via the class name,
+write via ``cls``).  All five outlive a work unit in a warm pooled
+worker.
+"""
+
+_RESULT_MEMO = {}
+_TRACE = []
+_RUNS = 0
+
+
+class WarmPool:
+    reused = 0
+
+    def mark_reuse(self):
+        WarmPool.reused += 1
+
+    @classmethod
+    def reset(cls):
+        cls.reused = 0
+
+
+def memoize(key, value):
+    _RESULT_MEMO[key] = value
+
+
+def trace(event):
+    _TRACE.append(event)
+
+
+def bump_runs():
+    global _RUNS
+    _RUNS += 1

@@ -1,0 +1,37 @@
+"""Copy-unsafe callables at registration sites.
+
+Expected findings: snapshot-closure x3 (lambda, named nested closure,
+factory-returned closure), snapshot-bound-builtin x1,
+snapshot-mutable-default x1, snapshot-generator x2 (genexp arg, live
+generator arg).  Mirrors every rejection class of guard_world.
+"""
+
+
+def make_cb(tag):
+    def inner():
+        return tag  # closes over the factory argument
+    return inner
+
+
+def gen_events():
+    yield 1
+    yield 2
+
+
+def has_mutable_default(acc=[]):
+    acc.append(1)
+
+
+def wire(engine, sink):
+    leak = []
+    engine.call_at(1000, lambda: leak.append(1))        # closure (lambda)
+
+    def nested():
+        return len(leak)                                # closure (nested def)
+    engine.call_at(2000, nested)
+
+    engine.call_at(3000, make_cb("x"))                  # factory closure
+    engine.call_at(4000, sink.append)                   # bound builtin
+    engine.call_in(5000, has_mutable_default)           # mutable default
+    engine.call_at(6000, print, (x for x in leak))      # genexp argument
+    engine.call_at(7000, print, gen_events())           # live generator

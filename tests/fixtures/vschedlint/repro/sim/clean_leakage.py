@@ -1,0 +1,25 @@
+"""Unit-local state only: zero findings expected.
+
+Instance attributes, locals, and caller-provided containers may all
+mutate freely — none of them survives the unit that owns them.
+"""
+
+
+class Telemetry:
+    def __init__(self):
+        self.counts = {}
+        self.events = []
+
+    def bump(self, key):
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def log(self, event):
+        self.events.append(event)
+
+
+def fill(sink, items):
+    out = []
+    for item in items:
+        out.append(item)
+        sink.append(item)
+    return out

@@ -1,0 +1,10 @@
+"""Imported-callable half of the cross-module VSL403 pair.
+
+The mutable default only becomes a finding at a registration site (see
+``bad_crossmod.py``), so this module on its own is clean.
+"""
+
+
+def drain(backlog=[]):
+    while backlog:
+        backlog.pop()

@@ -10,14 +10,17 @@ import sys
 from collections import Counter
 from pathlib import Path
 
+import pytest
+
 REPO = Path(__file__).resolve().parent.parent
 TOOLS = REPO / "tools"
 if str(TOOLS) not in sys.path:
     sys.path.insert(0, str(TOOLS))
 
 from vschedlint import baseline as baseline_mod  # noqa: E402
-from vschedlint.checker import lint_paths  # noqa: E402
+from vschedlint.checker import collect_records, lint_paths  # noqa: E402
 from vschedlint.findings import RULES, finalize_fingerprints  # noqa: E402
+from vschedlint.index import IndexCache  # noqa: E402
 
 FIXTURES = Path(__file__).parent / "fixtures" / "vschedlint" / "repro"
 SHIPPED_BASELINE = TOOLS / "vschedlint" / "baseline.json"
@@ -90,6 +93,201 @@ class TestElisionRules:
 
     def test_clean_elision_fixture(self):
         assert lint_fixture("guest/clean_elision.py") == []
+
+
+class TestSnapshotRules:
+    def test_bad_snapshot_fixture(self):
+        got = rules_of(lint_fixture("sim/bad_snapshot.py"))
+        assert got == {"snapshot-closure": 3, "snapshot-bound-builtin": 1,
+                       "snapshot-mutable-default": 1,
+                       "snapshot-generator": 2}
+
+    def test_clean_snapshot_fixture(self):
+        assert lint_fixture("sim/clean_snapshot.py") == []
+
+    def test_cross_module_mutable_default(self):
+        findings = lint_paths([str(FIXTURES / "sim" / "helper_defaults.py"),
+                               str(FIXTURES / "sim" / "bad_crossmod.py")])
+        assert rules_of(findings) == {"snapshot-mutable-default": 1}
+        assert findings[0].path.endswith("bad_crossmod.py")
+
+    def test_unresolvable_import_stays_quiet(self):
+        # Alone, ``drain`` cannot be resolved: under-approximate, don't
+        # guess.
+        assert lint_fixture("sim/bad_crossmod.py") == []
+
+
+class TestCacheKeyRules:
+    def test_bad_cachekeys_partial_scan(self):
+        # Partial scan: the unresolvable repro import is NOT a gap (every
+        # sibling would be); the third-party gap and hidden inputs are.
+        got = rules_of(lint_fixture("experiments/bad_cachekeys.py"))
+        assert got == {"fingerprint-gap": 1, "hidden-env-input": 2,
+                       "hidden-file-input": 2}
+
+    def test_bad_cachekeys_full_scan(self):
+        # With the package root in the index the repro-tree gap fires too.
+        findings = lint_paths([
+            str(FIXTURES / "__init__.py"),
+            str(FIXTURES / "experiments" / "bad_cachekeys.py")])
+        got = rules_of(findings)
+        assert got == {"fingerprint-gap": 2, "hidden-env-input": 2,
+                       "hidden-file-input": 2}
+
+    def test_orchestration_reads_out_of_scope(self):
+        # The env read in ``_worker_count`` is not unit-reachable: quiet.
+        assert lint_fixture("experiments/clean_cachekeys.py") == []
+
+
+class TestLeakageRules:
+    def test_bad_leakage_fixture(self):
+        findings = lint_fixture("sim/bad_leakage.py")
+        assert rules_of(findings) == {"cross-unit-state": 3,
+                                      "class-attr-state": 2}
+        assert {f.symbol for f in findings} == {
+            "memoize", "trace", "bump_runs",
+            "WarmPool.mark_reuse", "WarmPool.reset"}
+
+    def test_clean_leakage_fixture(self):
+        assert lint_fixture("sim/clean_leakage.py") == []
+
+
+class TestGuardParity:
+    """Every guard_world runtime-rejection class has a static twin.
+
+    The same registrations as ``fixtures .../sim/bad_snapshot.py::wire``
+    are made against a real engine; each offender phrase in the runtime
+    error must be matched, occurrence for occurrence, by the VSL4xx rule
+    that catches it at lint time.
+    """
+
+    PHRASE_TO_RULE = {
+        "closure": "snapshot-closure",
+        "bound builtin": "snapshot-bound-builtin",
+        "mutable defaults": "snapshot-mutable-default",
+        "live generator": "snapshot-generator",
+    }
+
+    def test_runtime_rejections_have_static_twins(self):
+        from repro.sim.engine import Engine
+        from repro.sim.snapshot import SnapshotError, guard_world
+
+        def make_cb(tag):
+            def inner():
+                return tag
+            return inner
+
+        def gen_events():
+            yield 1
+
+        def has_mutable_default(acc=[]):
+            acc.append(1)
+
+        eng = Engine()
+        leak, sink = [], []
+        eng.call_at(1000, lambda: leak.append(1))
+
+        def nested():
+            return len(leak)
+        eng.call_at(2000, nested)
+        eng.call_at(3000, make_cb("x"))
+        eng.call_at(4000, sink.append)
+        eng.call_in(5000, has_mutable_default)
+        eng.call_at(6000, print, (x for x in leak))
+        eng.call_at(7000, print, gen_events())
+
+        with pytest.raises(SnapshotError) as exc:
+            guard_world(eng)
+        msg = str(exc.value)
+        static = rules_of(lint_fixture("sim/bad_snapshot.py"))
+        assert sum(static.values()) == 7
+        for phrase, rule in self.PHRASE_TO_RULE.items():
+            runtime_hits = msg.count(phrase)
+            assert runtime_hits > 0, (phrase, msg)
+            assert static[rule] == runtime_hits, (phrase, rule, msg)
+
+
+# ----------------------------------------------------------------------
+# Project index cache
+# ----------------------------------------------------------------------
+class TestIndexCache:
+    def _write(self, path, body="def f():\n    return 1\n"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+
+    def test_second_run_hits(self, tmp_path):
+        mod = tmp_path / "repro" / "sim" / "mod.py"
+        self._write(mod)
+        cache_file = tmp_path / "cache.json"
+
+        first = IndexCache(cache_file)
+        collect_records([str(mod)], first)
+        assert (first.hits, first.misses) == (0, 1)
+
+        second = IndexCache(cache_file)
+        records = collect_records([str(mod)], second)
+        assert (second.hits, second.misses) == (1, 0)
+        assert records[0].modname == "repro.sim.mod"
+
+    def test_edit_misses(self, tmp_path):
+        mod = tmp_path / "repro" / "sim" / "mod.py"
+        self._write(mod)
+        cache_file = tmp_path / "cache.json"
+        collect_records([str(mod)], IndexCache(cache_file))
+
+        self._write(mod, "def g():\n    return 2\n")
+        cache = IndexCache(cache_file)
+        records = collect_records([str(mod)], cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert "g" in records[0].functions
+
+    def test_rename_and_delete_prune(self, tmp_path):
+        old = tmp_path / "repro" / "sim" / "old.py"
+        self._write(old)
+        cache_file = tmp_path / "cache.json"
+        collect_records([str(old)], IndexCache(cache_file))
+
+        new = tmp_path / "repro" / "sim" / "new.py"
+        old.rename(new)
+        cache = IndexCache(cache_file)
+        collect_records([str(new)], cache)
+        assert (cache.hits, cache.misses) == (0, 1)  # new path, fresh parse
+        assert str(old) not in cache._entries        # stale entry pruned
+        assert str(new) in cache._entries
+
+    def test_cached_records_reproduce_findings(self, tmp_path):
+        src = (FIXTURES / "sim" / "bad_determinism.py").read_text()
+        mod = tmp_path / "repro" / "sim" / "mod.py"
+        self._write(mod, src)
+        cache_file = tmp_path / "cache.json"
+
+        cold = lint_paths([str(mod)], IndexCache(cache_file))
+        warm_cache = IndexCache(cache_file)
+        warm = lint_paths([str(mod)], warm_cache)
+        assert warm_cache.hits == 1
+        assert [f.render() for f in warm] == [f.render() for f in cold]
+
+    def test_corrupt_cache_ignored(self, tmp_path):
+        mod = tmp_path / "repro" / "sim" / "mod.py"
+        self._write(mod)
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json")
+        cache = IndexCache(cache_file)
+        collect_records([str(mod)], cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_linter_edit_invalidates_everything(self, tmp_path):
+        mod = tmp_path / "repro" / "sim" / "mod.py"
+        self._write(mod)
+        cache_file = tmp_path / "cache.json"
+        collect_records([str(mod)], IndexCache(cache_file))
+
+        stale = json.loads(cache_file.read_text())
+        stale["tool"] = "0" * 64  # as if the linter's own sources changed
+        cache_file.write_text(json.dumps(stale))
+        cache = IndexCache(cache_file)
+        collect_records([str(mod)], cache)
+        assert (cache.hits, cache.misses) == (0, 1)
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +377,127 @@ class TestCli:
         assert proc.returncode == 0
         for slug in RULES:
             assert slug in proc.stdout
+
+
+class TestCliV2:
+    def test_sarif_output(self):
+        proc = run_cli("--format", "sarif", "--no-baseline",
+                       "--no-index-cache",
+                       str(FIXTURES / "sim" / "bad_snapshot.py"))
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        results = run["results"]
+        assert len(results) == 7
+        rules = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+        for res in results:
+            assert res["ruleId"] in rules
+            assert res["partialFingerprints"]["vschedlint/v1"]
+        assert rules["VSL401"]["helpUri"].endswith("#vsl401")
+
+    def test_jsonl_output(self):
+        proc = run_cli("--format", "jsonl", "--no-baseline",
+                       "--no-index-cache",
+                       str(FIXTURES / "sim" / "bad_snapshot.py"))
+        assert proc.returncode == 1
+        lines = [json.loads(ln) for ln in proc.stdout.splitlines()
+                 if ln.strip()]
+        assert len(lines) == 7
+        assert all(ln["fingerprint"] and ln["doc"] for ln in lines)
+
+    def test_text_output_carries_doc_anchors(self):
+        proc = run_cli("--no-baseline", "--no-index-cache",
+                       str(FIXTURES / "sim" / "bad_snapshot.py"))
+        assert "-> docs/INTERNALS.md#vsl401" in proc.stdout
+
+    def test_write_baseline_is_shrink_only(self, tmp_path):
+        bl = tmp_path / "bl.json"
+        bad = str(FIXTURES / "sim" / "bad_determinism.py")
+        clean = str(FIXTURES / "sim" / "clean_determinism.py")
+
+        # A fresh baseline may be seeded; shrinking it later is fine...
+        proc = run_cli("--write-baseline", "--baseline", str(bl),
+                       "--no-index-cache", bad)
+        assert proc.returncode == 0, proc.stderr
+        proc = run_cli("--write-baseline", "--baseline", str(bl),
+                       "--no-index-cache", clean)
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(bl.read_text())["entries"] == {}
+
+        # ...but growing an existing baseline is refused.
+        proc = run_cli("--write-baseline", "--baseline", str(bl),
+                       "--no-index-cache", bad)
+        assert proc.returncode == 2
+        assert "grow" in proc.stderr
+
+    def test_stats_reports_cache_reuse(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        target = str(FIXTURES / "sim" / "clean_determinism.py")
+        run_cli("--no-baseline", "--index-cache", str(cache), target)
+        proc = run_cli("--no-baseline", "--stats",
+                       "--index-cache", str(cache), target)
+        assert "1 hit(s), 0 miss(es)" in proc.stderr
+
+
+class TestChangedMode:
+    def _make_repo(self, tmp_path):
+        repo = tmp_path / "work"
+        (repo / "repro" / "sim").mkdir(parents=True)
+        steady = repo / "repro" / "sim" / "steady.py"
+        steady.write_text("import time\n\n\ndef f():\n"
+                          "    return time.time()\n")
+        git = ["git", "-c", "user.email=t@t", "-c", "user.name=t"]
+        subprocess.run([*git, "init", "-q"], cwd=repo, check=True)
+        subprocess.run([*git, "add", "."], cwd=repo, check=True)
+        subprocess.run([*git, "commit", "-qm", "seed"], cwd=repo,
+                       check=True)
+        return repo
+
+    def _run(self, repo, *args):
+        env = {"PYTHONPATH": f"{REPO / 'src'}:{TOOLS}",
+               "PATH": "/usr/bin:/bin"}
+        return subprocess.run(
+            [sys.executable, "-m", "vschedlint", "--no-baseline",
+             "--no-index-cache", *args],
+            cwd=repo, env=env, capture_output=True, text=True)
+
+    def test_only_changed_files_reported(self, tmp_path):
+        repo = self._make_repo(tmp_path)
+        fresh = repo / "repro" / "sim" / "fresh.py"
+        fresh.write_text("import time\n\n\ndef g():\n"
+                         "    return time.time()\n")
+
+        full = self._run(repo, "--format", "json", "repro")
+        assert len(json.loads(full.stdout)["findings"]) == 2
+
+        part = self._run(repo, "--format", "json", "repro", "--changed")
+        findings = json.loads(part.stdout)["findings"]
+        assert part.returncode == 1
+        assert [f["path"] for f in findings] == ["repro/sim/fresh.py"]
+
+    def test_changed_with_nothing_touched_is_clean(self, tmp_path):
+        repo = self._make_repo(tmp_path)
+        proc = self._run(repo, "repro", "--changed")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_changed_outside_git_fails_loudly(self, tmp_path):
+        plain = tmp_path / "plain" / "repro" / "sim"
+        plain.mkdir(parents=True)
+        (plain / "m.py").write_text("def f():\n    return 1\n")
+        proc = self._run(tmp_path / "plain", "repro", "--changed")
+        assert proc.returncode == 2
+        assert "git" in proc.stderr
+
+
+class TestDocAnchors:
+    def test_every_rule_has_an_internals_anchor(self):
+        # Findings render "-> docs/INTERNALS.md#vslNNN"; each target must
+        # exist so the links never dangle.
+        text = (REPO / "docs" / "INTERNALS.md").read_text()
+        for slug, (rule_id, _family, _desc) in RULES.items():
+            assert f'<a id="{rule_id.lower()}"></a>' in text, (slug, rule_id)
 
 
 class TestShippedTree:

@@ -1,7 +1,7 @@
 """vschedlint: static invariant checker for the vSched reproduction.
 
-The simulator's correctness rests on three contracts that ordinary tests
-cannot see being *almost* violated:
+The simulator's correctness rests on contracts that ordinary tests cannot
+see being *almost* violated:
 
 * **Layering / guest isolation** — the paper's central claim is "no
   hypervisor changes": guest-side code (``guest``/``core``/``probers``/
@@ -17,15 +17,27 @@ cannot see being *almost* violated:
 * **Tickless catch-up discipline** — tick elision (INTERNALS §11) is only
   sound if every reader or mutator of tick-replayed state calls
   ``_catch_up()`` (or a registered sync hook) first.
+* **Snapshot safety** — a callable registered into the simulated world
+  (``Engine.call_at``, listener lists) must survive ``copy.deepcopy`` or
+  a warm-start fork aliases the original world (VSL4xx, the static twin
+  of ``guard_world``).
+* **Cache-key soundness** — every input to a unit's result must be in its
+  cache key: imports inside the code fingerprint, no hidden environment
+  or file reads (VSL5xx).
+* **Cross-unit isolation** — no module- or class-level state written at
+  simulation time may leak between units sharing a warm pooled worker
+  (VSL6xx).
 
-``vschedlint`` walks the AST of ``src/repro`` and enforces all three.  See
-``docs/INTERNALS.md`` §12 for the rule catalogue, the suppression syntax
-(``# vschedlint: disable=<rule> -- <reason>``), and baseline semantics.
+v1 checked one file at a time; v2 builds a whole-program project index
+(with an on-disk incremental cache) so the last three families can reason
+across modules.  See ``docs/INTERNALS.md`` §12 and §16 for the rule
+catalogue, the suppression syntax (``# vschedlint: disable=<rule> --
+<reason>``), blessing registries, and baseline semantics.
 """
 
 from vschedlint.checker import lint_paths
 from vschedlint.findings import Finding, RULES
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = ["lint_paths", "Finding", "RULES", "__version__"]

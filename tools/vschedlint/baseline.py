@@ -29,13 +29,19 @@ def load_baseline(path: Path) -> Dict[str, dict]:
 
 
 def apply_baseline(findings: List[Finding], entries: Dict[str, dict],
-                   baseline_path: str) -> None:
-    """Mark baselined findings; append stale-baseline findings in place."""
+                   baseline_path: str, report_stale: bool = True) -> None:
+    """Mark baselined findings; append stale-baseline findings in place.
+
+    ``report_stale=False`` is for partial views (``--changed``): an entry
+    that matched nothing may simply live in a file outside the view.
+    """
     matched = set()
     for f in findings:
         if f.fingerprint in entries:
             f.baselined = True
             matched.add(f.fingerprint)
+    if not report_stale:
+        return
     for fp, entry in sorted(entries.items()):
         if fp not in matched:
             findings.append(Finding(
@@ -45,8 +51,17 @@ def apply_baseline(findings: List[Finding], entries: Dict[str, dict],
                 f"delete it — the baseline may only shrink"))
 
 
+class BaselineGrowthError(ValueError):
+    """Rewriting the baseline would add entries it does not have today."""
+
+
 def write_baseline(findings: List[Finding], path: Path) -> int:
-    """Write all non-meta findings as the new baseline; returns the count."""
+    """Rewrite the baseline from current findings; returns the count.
+
+    The baseline may only shrink: an entry that is not already accepted
+    cannot be added by ``--write-baseline`` — new findings are fixed or
+    suppressed inline with a reason, never swept under the baseline.
+    """
     entries = {
         f.fingerprint: {
             "rule": f.rule,
@@ -57,6 +72,19 @@ def write_baseline(findings: List[Finding], path: Path) -> int:
         for f in findings
         if f.fingerprint  # meta findings carry no fingerprint
     }
+    if path.exists():
+        existing = load_baseline(path)
+        grown = sorted(set(entries) - set(existing))
+        if grown:
+            detail = "; ".join(
+                f"{fp} ({entries[fp]['rule']} in "
+                f"{entries[fp]['module'] or '?'})" for fp in grown[:5])
+            more = f" (+{len(grown) - 5} more)" if len(grown) > 5 else ""
+            raise BaselineGrowthError(
+                f"refusing to grow the baseline: {len(grown)} finding(s) "
+                f"are not in {path} — fix them or add an inline "
+                f"'# vschedlint: disable=<rule> -- <reason>' suppression "
+                f"[{detail}{more}]")
     payload = {"version": VERSION, "entries": dict(sorted(entries.items()))}
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return len(entries)

@@ -182,3 +182,199 @@ ELISION_EXEMPT = {
 
 #: ``__init__`` initializes registered fields everywhere.
 ELISION_EXEMPT_EVERYWHERE = frozenset({"__init__"})
+
+# ---------------------------------------------------------------------------
+# Trees and per-tree rule policy
+# ---------------------------------------------------------------------------
+# vschedlint lints three trees with different contracts.  ``src/repro`` is
+# the simulator: every family applies.  ``tools/`` is host-side dev
+# tooling: it may read real clocks (bench measures wall time) but must
+# still be deterministic where it feeds A/B comparisons, and must not
+# reach into engine internals.  ``tests/`` may read clocks and poke
+# internals (white-box tests of the backends are the point), but unseeded
+# randomness would make failures unreproducible.
+#
+# Families: "layering", "determinism", "elision", "snapshot", "cachekeys",
+# "leakage".  Flags soften individual determinism rules per tree.
+TREE_POLICIES = {
+    "repro": {
+        "families": frozenset({"layering", "determinism", "elision",
+                               "snapshot", "cachekeys", "leakage"}),
+        "allow_wallclock": False,
+        "allow_identity": False,
+    },
+    "tools": {
+        "families": frozenset({"determinism"}),
+        # bench/abdiff measure real elapsed time on purpose
+        "allow_wallclock": True,
+        "allow_identity": True,
+        # explicit-seed RNG constructors (random.Random(0)) are fine;
+        # drawing from the process-global stream still is not
+        "allow_seeded_rng": True,
+        # the dict-view+sink heuristic targets the sim event heap
+        "dict_view_sinks": False,
+        # tools must not reach into the engine's event store either
+        "heap_encapsulation": True,
+    },
+    "tests": {
+        "families": frozenset({"determinism"}),
+        "allow_wallclock": True,
+        "allow_identity": True,
+        "allow_seeded_rng": True,
+        "dict_view_sinks": False,
+        "heap_encapsulation": False,  # white-box backend tests are fine
+    },
+}
+
+#: Directory components whose subtrees are skipped when a *directory* is
+#: expanded (explicit file arguments always lint).  The vschedlint test
+#: fixtures are deliberate rule violations: linting them as part of
+#: ``vschedlint tests`` would report their intentional findings.
+EXCLUDED_DIR_COMPONENTS = frozenset({"__pycache__", "fixtures"})
+
+# ---------------------------------------------------------------------------
+# Snapshot safety (VSL4xx)
+# ---------------------------------------------------------------------------
+#: Method names whose call registers a callable into the simulated world,
+#: mapped to the positional index of the callable argument.  Everything
+#: scheduled through these can sit in a pending event when a scenario
+#: prefix freezes (INTERNALS §15), so it must survive ``copy.deepcopy``.
+REGISTRATION_CALLS = {
+    "call_at": 1,        # Engine.call_at(time, callback, *args)
+    "call_in": 1,        # Engine.call_in(delay, callback, *args)
+    "add_sync_hook": 0,  # Engine.add_sync_hook(hook)
+}
+
+#: Attributes that hold listener lists on world objects;
+#: ``<attr>.append(cb)`` is a registration site too.
+LISTENER_ATTRS = frozenset({"activity_listeners"})
+
+#: Constructors whose ``func`` argument names a work-unit body or prefix
+#: builder, mapped to its positional index.  These are the reachability
+#: roots: the code a warm pooled worker runs per unit.
+UNIT_ROOT_CTORS = {
+    "WorkUnit": 2,    # WorkUnit(exp_id, label, func, ...)
+    "PrefixSpec": 1,  # PrefixSpec(key, func, ...)
+}
+
+#: Builtin-container method names: ``x.append`` passed as a callback is
+#: (almost certainly) a bound builtin, which ``copy.deepcopy`` treats as
+#: an atom — the fork would keep mutating the original receiver.  A user
+#: class happening to define one of these names is a suppressible false
+#: positive; none exist in this tree.
+BOUND_BUILTIN_METHODS = frozenset({
+    "append", "appendleft", "add", "extend", "update", "insert", "remove",
+    "discard", "pop", "popleft", "clear", "setdefault", "sort", "reverse",
+})
+
+#: Decorators that vouch for a callable's copy safety at runtime
+#: (``repro.sim.snapshot.snapshot_safe``) or route it through the task
+#: layer's own ``__deepcopy__`` machinery
+#: (``repro.guest.task.restartable_body``).  The static rules trust them.
+SNAPSHOT_SAFE_DECORATORS = frozenset({"snapshot_safe", "restartable_body"})
+
+#: Mutation method names used to detect writes to module-level mutables.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "extend", "update", "insert", "remove",
+    "discard", "pop", "popleft", "popitem", "clear", "setdefault", "sort",
+})
+
+# ---------------------------------------------------------------------------
+# Cache-key soundness (VSL5xx)
+# ---------------------------------------------------------------------------
+#: Third-party packages whose code is *not* covered by the result cache's
+#: code fingerprint but is version-pinned by the environment; importing
+#: them does not constitute a fingerprint gap.  Everything else non-stdlib
+#: does.
+FINGERPRINTED_THIRD_PARTY = frozenset({"numpy", "np"})
+
+#: Hidden-input blessings: ``modname -> {function qualname -> reason}``.
+#: A blessed function may read the environment or the filesystem even
+#: where the rules would otherwise flag a hidden result input.  Every
+#: entry must say *why the read cannot make two equal cache keys map to
+#: different results*.
+HIDDEN_INPUT_BLESSED = {
+    "repro.sim.engine": {
+        # The three process-mode knobs.  They change how results are
+        # *computed*, never what they are: the A/B identity CI jobs prove
+        # byte-identical tables across backend x tickless x snapshot, and
+        # the snapshot store folds all three into its prefix keys anyway
+        # (prefix_store_key).
+        "elision_default": "mode knob; byte-identity across settings is "
+                           "CI-enforced and snapstore keys fold it in",
+        "snapshot_default": "mode knob; fork-vs-cold byte-identity is "
+                            "CI-enforced (abdiff --snapshot-modes)",
+        "engine_backend_default": "mode knob; backend byte-identity is "
+                                  "CI-enforced (abdiff --backends)",
+    },
+    "repro.experiments.cache": {
+        # The fingerprint is the cache key's code input itself; reading
+        # the tree to compute it is the mechanism, not a hidden input.
+        "_fingerprint_tree": "computes the code fingerprint that *is* "
+                             "part of every unit key",
+        # The cache's own entry files are keyed by the full unit key;
+        # reading them returns a value previously stored under the same
+        # key, so the read cannot alias two different inputs.
+        "ResultCache.lookup": "reads its own content-addressed entries",
+        "ResultCache.store": "writes its own content-addressed entries",
+    },
+    "repro.experiments.parallel": {
+        # $VSCHED_REPRO_JOBS decides how many units run at once, never
+        # what any unit computes; unit bodies receive data, not workers.
+        "default_jobs": "worker-count knob; concurrency only, results "
+                        "are per-unit pure functions regardless",
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Cross-unit leakage (VSL6xx)
+# ---------------------------------------------------------------------------
+#: Process-level state blessings: ``modname -> {state name -> reason}``.
+#: A blessed module-level (or ``Class.attr``) name may be written at
+#: simulation time.  Every entry must say why persistence across units in
+#: a warm pooled worker cannot change any unit's *result*.
+PROCESS_STATE_BLESSED = {
+    "repro.experiments.snapstore": {
+        "_process_store": "the intentional per-process snapshot store; "
+                          "entries are content-addressed by code "
+                          "fingerprint + prefix chain + mode, and abdiff "
+                          "--snapshot-modes proves fork==cold",
+    },
+    "repro.experiments.cache": {
+        "_fingerprint_memo": "memo of a pure function of the source tree; "
+                             "the tree cannot change mid-run",
+    },
+    "repro.experiments.parallel": {
+        "_default_jobs": "parent-process orchestration knob (worker "
+                         "count); never read inside a unit body",
+        "_last_stats": "parent-process bench telemetry, written after "
+                       "units complete; never read inside a unit body",
+    },
+    "repro.guest.pelt": {
+        "_DECAY_CACHE": "memo table of y^p decay powers — a pure "
+                        "function of its key, so warm entries are "
+                        "byte-identical to cold recomputation",
+    },
+    "repro.sim.snapshot": {
+        "_SAFE_CALLBACKS": "decorator registry, appended at function "
+                           "definition time (import), deterministic per "
+                           "code version",
+    },
+    "repro.guest.task": {
+        "_RESTARTABLE_BODIES": "decorator registry, appended at function "
+                               "definition time (import), deterministic "
+                               "per code version",
+    },
+    "repro.sim.engine": {
+        "Engine.total_events_fired": "process-wide telemetry; units "
+                                     "report deltas, results never read it",
+        "Engine.total_events_elided": "process-wide telemetry (deltas)",
+        "Engine.total_pushes": "process-wide telemetry (deltas)",
+        "Engine.total_cancels": "process-wide telemetry (deltas)",
+        "Engine.total_dead_drops": "process-wide telemetry (deltas)",
+        "Engine.total_cascades": "process-wide telemetry (deltas)",
+        "Engine.profile_data": "opt-in profiling table, rendered for "
+                               "humans by profile_table(); no result "
+                               "reads it",
+    },
+}

@@ -28,6 +28,13 @@ from vschedlint import config
 from vschedlint.findings import Finding
 
 
+#: RNG constructors that are deterministic when given an explicit seed —
+#: tools/tests may build these directly (the ``allow_seeded_rng`` policy);
+#: ``src/repro`` still routes everything through ``repro.sim.rng``.
+_SEEDED_RNG_CTORS = frozenset({"Random", "default_rng", "Generator",
+                               "SeedSequence", "PCG64", "Philox"})
+
+
 def _call_target(node: ast.Call):
     """(root, attr) for ``root.attr(...)`` calls, (None, name) for bare."""
     fn = node.func
@@ -41,6 +48,12 @@ def _call_target(node: ast.Call):
 def check_clocks_and_rng(module, findings: List[Finding]) -> None:
     layer = module.layer
     in_rng_factory = module.modname == config.RNG_FACTORY_MODULE
+    # Tree policy: tools/ and tests/ run on the host's clock and may
+    # key on object identity (pytest fixtures, progress timers).
+    allow_wallclock = getattr(module, "allow_wallclock", False)
+    allow_identity = (getattr(module, "allow_identity", False)
+                      or layer == "experiments")
+    allow_seeded = getattr(module, "allow_seeded_rng", False)
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -48,7 +61,9 @@ def check_clocks_and_rng(module, findings: List[Finding]) -> None:
         sym = module.symbol_at(node.lineno)
 
         # --- wall clocks -------------------------------------------------
-        if (root, attr) in config.WALLCLOCK_FORBIDDEN:
+        if allow_wallclock:
+            pass
+        elif (root, attr) in config.WALLCLOCK_FORBIDDEN:
             findings.append(Finding(
                 "wall-clock", module.path, node.lineno, node.col_offset,
                 f"{root}.{attr}() reads the wall clock; simulated time is "
@@ -65,11 +80,15 @@ def check_clocks_and_rng(module, findings: List[Finding]) -> None:
 
         # --- RNG ----------------------------------------------------------
         if root == "random":
-            findings.append(Finding(
-                "unseeded-rng", module.path, node.lineno, node.col_offset,
-                f"random.{attr}() draws from the process-global stream; "
-                f"route randomness through repro.sim.rng.make_rng",
-                symbol=sym, modname=module.modname))
+            if not (allow_seeded and attr in _SEEDED_RNG_CTORS
+                    and node.args):
+                findings.append(Finding(
+                    "unseeded-rng", module.path, node.lineno,
+                    node.col_offset,
+                    f"random.{attr}() draws from the process-global "
+                    f"stream; route randomness through "
+                    f"repro.sim.rng.make_rng",
+                    symbol=sym, modname=module.modname))
         # np.random.<fn>(...) — the module-level legacy stream, or
         # default_rng outside the sanctioned factory.
         fn = node.func
@@ -78,7 +97,9 @@ def check_clocks_and_rng(module, findings: List[Finding]) -> None:
                 and fn.value.attr == "random"
                 and isinstance(fn.value.value, ast.Name)
                 and fn.value.value.id in ("np", "numpy")):
-            if not in_rng_factory:
+            if not in_rng_factory and not (
+                    allow_seeded and fn.attr in _SEEDED_RNG_CTORS
+                    and node.args):
                 findings.append(Finding(
                     "unseeded-rng", module.path, node.lineno,
                     node.col_offset,
@@ -87,7 +108,7 @@ def check_clocks_and_rng(module, findings: List[Finding]) -> None:
                     symbol=sym, modname=module.modname))
 
         # --- identity -----------------------------------------------------
-        if (root, attr) == (None, "id") and layer != "experiments":
+        if (root, attr) == (None, "id") and not allow_identity:
             findings.append(Finding(
                 "identity-key", module.path, node.lineno, node.col_offset,
                 "id() is per-process object identity; it must never key, "
@@ -215,6 +236,7 @@ class _UnorderedVisitor(ast.NodeVisitor):
         if _is_set_expr(iter_node, self.set_names_stack[-1]):
             self._flag(iter_node, "a set")
         elif (_is_dict_view(iter_node) and self.has_sink_stack[-1]
+              and getattr(self.module, "dict_view_sinks", True)
               and self.module.layer not in config.ORDERING_SINK_EXEMPT_LAYERS):
             self._flag(
                 iter_node,

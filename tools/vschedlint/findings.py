@@ -34,6 +34,37 @@ RULES: Dict[str, tuple] = {
     # elision
     "elision-sync": ("VSL301", "elision",
                      "tick-replayed field touched before _catch_up/sync"),
+    # snapshot safety (whole-program)
+    "snapshot-closure": ("VSL401", "snapshot",
+                         "closure registered where a world freeze would "
+                         "alias it"),
+    "snapshot-bound-builtin": ("VSL402", "snapshot",
+                               "bound builtin method registered as a "
+                               "callback (deepcopy keeps the original "
+                               "receiver)"),
+    "snapshot-mutable-default": ("VSL403", "snapshot",
+                                 "registered callable has mutable default "
+                                 "arguments (shared across forks)"),
+    "snapshot-generator": ("VSL404", "snapshot",
+                           "generator in a pending event (cannot be "
+                           "deep-copied)"),
+    # cache-key soundness (whole-program)
+    "fingerprint-gap": ("VSL501", "cachekeys",
+                        "import outside the result cache's code "
+                        "fingerprint"),
+    "hidden-env-input": ("VSL502", "cachekeys",
+                         "environment read in result-producing code not "
+                         "folded into unit keys"),
+    "hidden-file-input": ("VSL503", "cachekeys",
+                          "file read in result-producing code not folded "
+                          "into unit keys"),
+    # cross-unit leakage (whole-program)
+    "cross-unit-state": ("VSL601", "leakage",
+                         "module-level state written at simulation time "
+                         "(persists across units in a warm worker)"),
+    "class-attr-state": ("VSL602", "leakage",
+                         "class attribute written at simulation time "
+                         "(persists across units in a warm worker)"),
     # meta
     "bad-suppression": ("VSL001", "meta",
                         "malformed suppression (unknown rule or no reason)"),
@@ -70,10 +101,15 @@ class Finding:
     def family(self) -> str:
         return RULES[self.rule][1]
 
+    @property
+    def doc_anchor(self) -> str:
+        """Stable per-rule documentation link (INTERNALS rule catalogue)."""
+        return f"docs/INTERNALS.md#{self.rule_id.lower()}"
+
     def render(self) -> str:
         where = f" [{self.symbol}]" if self.symbol else ""
         return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
-                f"({self.rule}) {self.message}{where}")
+                f"({self.rule}) {self.message}{where} -> {self.doc_anchor}")
 
     def to_json(self) -> dict:
         return {
@@ -88,6 +124,7 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint,
             "baselined": self.baselined,
+            "doc": self.doc_anchor,
         }
 
 

@@ -1,4 +1,4 @@
-"""Text and JSON reporters."""
+"""Text, JSON, SARIF, and JSON-lines reporters."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import json
 from collections import Counter
 from typing import List
 
-from vschedlint.findings import Finding
+from vschedlint.findings import RULES, Finding
 
 
 def render_text(findings: List[Finding]) -> str:
@@ -48,5 +48,52 @@ def render_json(findings: List[Finding]) -> str:
                 Counter(f.family for f in active).items())),
         },
         "findings": [f.to_json() for f in findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_jsonl(findings: List[Finding]) -> str:
+    """One finding per line — greppable, streamable, diffable."""
+    return "\n".join(json.dumps(f.to_json(), sort_keys=True)
+                     for f in findings)
+
+
+def render_sarif(findings: List[Finding]) -> str:
+    """SARIF 2.1.0 for code-scanning UIs; active findings only."""
+    from vschedlint import __version__
+
+    active = [f for f in findings if not f.baselined]
+    used_rules = sorted({f.rule for f in active},
+                        key=lambda slug: RULES[slug][0])
+    rules = [{
+        "id": RULES[slug][0],
+        "name": slug,
+        "shortDescription": {"text": RULES[slug][2]},
+        "helpUri": f"docs/INTERNALS.md#{RULES[slug][0].lower()}",
+        "properties": {"family": RULES[slug][1]},
+    } for slug in used_rules]
+    results = [{
+        "ruleId": f.rule_id,
+        "level": "error",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path},
+                "region": {"startLine": f.line,
+                           "startColumn": f.col + 1},
+            },
+        }],
+        "partialFingerprints": {"vschedlint/v1": f.fingerprint},
+    } for f in active]
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": "vschedlint",
+                                "version": __version__,
+                                "rules": rules}},
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2)

@@ -10,15 +10,34 @@ and so is a suppression that no longer silences anything
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List, Tuple
 
 from vschedlint.findings import RULES, UNSUPPRESSABLE, Finding
 
 _PATTERN = re.compile(
     r"#\s*vschedlint:\s*disable=(?P<rules>[a-z0-9_,\s-]+?)"
     r"(?:\s*--\s*(?P<reason>.*\S))?\s*$")
+
+
+def _comment_tokens(source_lines: List[str]) -> Iterator[
+        Tuple[int, int, str]]:
+    """(lineno, col, text) for every real comment token.
+
+    Tokenizing (rather than grepping lines) keeps string literals that
+    merely *mention* the suppression syntax — the linter's own docstrings,
+    test fixtures built from source strings — from parsing as comments.
+    """
+    buf = io.StringIO("\n".join(source_lines) + "\n")
+    try:
+        for tok in tokenize.generate_tokens(buf.readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return  # unparseable tail; the checker reports the syntax error
 
 
 @dataclass
@@ -33,13 +52,15 @@ def scan_suppressions(source_lines: List[str], path: str,
                       findings: List[Finding]) -> Dict[int, Suppression]:
     """Parse all suppression comments; emit bad-suppression findings."""
     out: Dict[int, Suppression] = {}
-    for lineno, text in enumerate(source_lines, start=1):
-        if "vschedlint:" not in text:
+    for lineno, col, text in _comment_tokens(source_lines):
+        # A suppression is its own comment ("# vschedlint: ..."); doc
+        # comments quoting the syntax mid-sentence are not directives.
+        if re.match(r"#\s*vschedlint:", text) is None:
             continue
         m = _PATTERN.search(text)
         if m is None:
             findings.append(Finding(
-                "bad-suppression", path, lineno, text.index("#"),
+                "bad-suppression", path, lineno, col,
                 "unparseable vschedlint comment (expected "
                 "'# vschedlint: disable=<rule> -- <reason>')"))
             continue
